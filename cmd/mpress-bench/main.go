@@ -1,0 +1,52 @@
+// Command mpress-bench regenerates the paper's evaluation tables and
+// figures on the simulated testbeds.
+//
+// Usage:
+//
+//	mpress-bench -list
+//	mpress-bench -exp fig7
+//	mpress-bench            # run everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpress/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	exp := flag.String("exp", "", "run only the named experiment (see -list)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-20s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	run := func(e experiments.Experiment) {
+		fmt.Printf("=== %s: %s ===\n", e.Name, e.Title)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mpress-bench: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if *exp != "" {
+		e, ok := experiments.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mpress-bench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		run(e)
+		return
+	}
+	for _, e := range experiments.All() {
+		run(e)
+	}
+}

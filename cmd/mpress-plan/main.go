@@ -1,0 +1,223 @@
+// Command mpress-plan computes, inspects, persists and visualizes the
+// memory-compaction plan MPress produces for a training job.
+//
+// Usage:
+//
+//	mpress-plan -model bert-1.67B -topo dgx1 -mb 12
+//	mpress-plan -model gpt-10.3B -schedule dapple -gantt
+//	mpress-plan -model bert-0.64B -save plan.json
+//	mpress-plan -model bert-0.64B -load plan.json -trace run.trace.json
+//
+// The trace file loads in chrome://tracing or https://ui.perfetto.dev.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpress/internal/exec"
+	"mpress/internal/hw"
+	"mpress/internal/model"
+	"mpress/internal/pipeline"
+	"mpress/internal/plan"
+	"mpress/internal/tensor"
+	"mpress/internal/trace"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mpress-plan: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseModel(name string) (model.Config, error) {
+	lower := strings.ToLower(name)
+	switch {
+	case strings.HasPrefix(lower, "bert-"):
+		return model.BertVariant(strings.TrimPrefix(name, "bert-"))
+	case strings.HasPrefix(lower, "gpt-"):
+		return model.GPTVariant(strings.TrimPrefix(name, "gpt-"))
+	default:
+		return model.Config{}, fmt.Errorf("model %q: want bert-<size> or gpt-<size>", name)
+	}
+}
+
+func parseTopo(name string) (*hw.Topology, error) {
+	switch strings.ToLower(name) {
+	case "dgx1":
+		return hw.DGX1(), nil
+	case "dgx1-nvme":
+		return hw.DGX1WithNVMe(), nil
+	case "dgx2":
+		return hw.DGX2(), nil
+	case "grace":
+		return hw.GraceHopper(), nil
+	default:
+		return nil, fmt.Errorf("topology %q: want dgx1, dgx1-nvme, dgx2 or grace", name)
+	}
+}
+
+func main() {
+	modelName := flag.String("model", "bert-1.67B", "model: bert-<size> or gpt-<size>")
+	topoName := flag.String("topo", "dgx1", "topology: dgx1, dgx1-nvme, dgx2, grace")
+	schedule := flag.String("schedule", "", "schedule: pipedream, dapple or gpipe (default by family)")
+	mb := flag.Int("mb", 0, "microbatch size (default 12 for Bert, 2 for GPT)")
+	saveTo := flag.String("save", "", "write the computed plan as JSON to this file")
+	loadFrom := flag.String("load", "", "load a previously saved plan instead of planning")
+	traceTo := flag.String("trace", "", "write the run's Chrome trace JSON to this file")
+	gantt := flag.Bool("gantt", false, "render the run's pipeline diagram as ASCII art")
+	flag.Parse()
+
+	m, err := parseModel(*modelName)
+	if err != nil {
+		fail("%v", err)
+	}
+	topo, err := parseTopo(*topoName)
+	if err != nil {
+		fail("%v", err)
+	}
+	kind := pipeline.PipeDream
+	if m.Arch == model.GPT {
+		kind = pipeline.DAPPLE
+	}
+	switch strings.ToLower(*schedule) {
+	case "":
+	case "pipedream":
+		kind = pipeline.PipeDream
+	case "dapple":
+		kind = pipeline.DAPPLE
+	case "gpipe":
+		kind = pipeline.GPipe
+	default:
+		fail("schedule %q: want pipedream, dapple or gpipe", *schedule)
+	}
+	micro := *mb
+	if micro == 0 {
+		micro = 12
+		if m.Arch == model.GPT {
+			micro = 2
+		}
+	}
+	prec := model.MixedAdam()
+	if m.DType == tensor.FP32 {
+		prec = model.FP32Adam()
+	}
+	microbatches := 4 * topo.NumGPUs
+	job := fmt.Sprintf("%s/%s/%v/mb%d", m.Name, topo.Name, kind, micro)
+
+	part, err := pipeline.PartitionModel(m, topo.NumGPUs, pipeline.ComputeBalanced, kind, prec, micro, microbatches)
+	if err != nil {
+		fail("%v", err)
+	}
+	build := func() (*pipeline.Built, error) {
+		return pipeline.Build(pipeline.BuildConfig{
+			Model: m, Prec: prec, Part: part, Kind: kind,
+			MicrobatchSize: micro, Microbatches: microbatches, Minibatches: 2,
+		})
+	}
+
+	demand := pipeline.Demand(m, prec, part, kind, micro, microbatches)
+	fmt.Printf("%s on %s, %v, microbatch %d\n", m.Name, topo.Name, kind, micro)
+	fmt.Printf("parameters: %.2fB   per-GPU capacity: %v\n\n", m.Billions(), topo.GPU.Memory)
+	fmt.Println("per-stage memory demand:")
+	for s, d := range demand {
+		marker := ""
+		if d > topo.GPU.Memory {
+			marker = "  << overflows"
+		}
+		fmt.Printf("  stage %d: %8.1f GiB%s\n", s, d.GiBf(), marker)
+	}
+
+	var pl *plan.Plan
+	if *loadFrom != "" {
+		f, err := os.Open(*loadFrom)
+		if err != nil {
+			fail("%v", err)
+		}
+		var savedJob string
+		pl, savedJob, err = plan.Load(f)
+		f.Close()
+		if err != nil {
+			fail("%v", err)
+		}
+		if savedJob != job {
+			fail("plan was computed for %q, this invocation is %q", savedJob, job)
+		}
+		fmt.Printf("\nloaded plan from %s\n", *loadFrom)
+	} else {
+		pl, err = plan.Compute(plan.Options{Topo: topo, Build: build, Allowed: plan.AllMechanisms()})
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("\nplanner emulations: %d\n", pl.Emulations)
+	}
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := pl.Save(f, job); err != nil {
+			fail("%v", err)
+		}
+		f.Close()
+		fmt.Printf("plan saved to %s\n", *saveTo)
+	}
+
+	fmt.Printf("device mapping (stage -> GPU): %v\n", pl.Mapping)
+	fmt.Println("memory-saving plan:")
+	for _, mech := range []plan.Mechanism{plan.MechRecompute, plan.MechHostSwap, plan.MechD2D} {
+		saved := pl.SavedByMech[mech]
+		r := pl.StageRange[mech]
+		if r[0] < 0 {
+			fmt.Printf("  %-14v not used\n", mech)
+			continue
+		}
+		fmt.Printf("  %-14v stages %d-%d, saves %v\n", mech, r[0], r[1], saved)
+	}
+
+	b, err := build()
+	if err != nil {
+		fail("%v", err)
+	}
+	opts, err := plan.Apply(pl, b, topo)
+	if err != nil {
+		fail("%v", err)
+	}
+	res, err := exec.Run(*opts)
+	if err != nil {
+		fail("%v", err)
+	}
+	if res.OOM != nil {
+		fmt.Printf("\nresult: OOM (%v)\n", res.OOM)
+		for k, v := range res.OOMResidents {
+			fmt.Printf("  resident %s: %v\n", k, v)
+		}
+		os.Exit(3)
+	}
+	fmt.Printf("\nthroughput: %.1f TFLOPS, %.1f samples/s (simulated %v)\n",
+		res.TFLOPS, res.SamplesPerSec, res.Duration)
+	fmt.Printf("traffic: NVLink %v, PCIe %v, NVMe %v\n",
+		res.Fabric.NVLinkBytes, res.Fabric.PCIeBytes, res.Fabric.NVMeBytes)
+
+	tl := trace.Collect(b, res)
+	if *gantt {
+		fmt.Println()
+		tl.WriteGantt(os.Stdout)
+		fmt.Println("\nbusy time by operator kind:")
+		for _, s := range tl.Summarize() {
+			fmt.Printf("  %-14v %5d ops  %v\n", s.Kind, s.Count, s.Busy)
+		}
+	}
+	if *traceTo != "" {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := tl.WriteChrome(f); err != nil {
+			fail("%v", err)
+		}
+		f.Close()
+		fmt.Printf("trace written to %s\n", *traceTo)
+	}
+}

@@ -1,0 +1,154 @@
+// Command mpress-sweep runs a parameter sweep over models, systems and
+// batch shapes, emitting one CSV row per training job — the raw
+// material behind the paper's figures, for plotting or regression
+// tracking.
+//
+// Usage:
+//
+//	mpress-sweep -family bert -topo dgx1 -systems plain,swap,recompute,d2d,mpress
+//	mpress-sweep -family gpt -topo dgx2 -mb 2,4 > gpt_dgx2.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mpress"
+	"mpress/internal/model"
+)
+
+var systemByName = map[string]mpress.System{
+	"plain":     mpress.SystemPlain,
+	"swap":      mpress.SystemGPUCPUSwap,
+	"recompute": mpress.SystemRecompute,
+	"d2d":       mpress.SystemMPressD2D,
+	"mpress":    mpress.SystemMPress,
+	"zero3":     mpress.SystemZeRO3,
+	"offload":   mpress.SystemZeROOffload,
+	"infinity":  mpress.SystemZeROInfinity,
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mpress-sweep: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	family := flag.String("family", "bert", "model family to sweep: bert or gpt")
+	topoName := flag.String("topo", "dgx1", "topology: dgx1, dgx1-nvme, dgx2")
+	systemsFlag := flag.String("systems", "plain,swap,recompute,d2d,mpress",
+		"comma-separated systems: plain,swap,recompute,d2d,mpress,zero3,offload,infinity")
+	mbFlag := flag.String("mb", "", "comma-separated microbatch sizes (default per family)")
+	sizesFlag := flag.String("sizes", "", "comma-separated variant sizes (default: all)")
+	flag.Parse()
+
+	var topo *mpress.Topology
+	switch strings.ToLower(*topoName) {
+	case "dgx1":
+		topo = mpress.DGX1()
+	case "dgx1-nvme":
+		topo = mpress.DGX1WithNVMe()
+	case "dgx2":
+		topo = mpress.DGX2()
+	default:
+		fail("unknown topology %q", *topoName)
+	}
+
+	var sizes []string
+	var variant func(string) mpress.Model
+	var schedule mpress.Schedule
+	var defaultMB int
+	switch strings.ToLower(*family) {
+	case "bert":
+		sizes, variant = model.BertSizes(), mpress.MustBert
+		schedule, defaultMB = mpress.PipeDream, 12
+	case "gpt":
+		sizes, variant = model.GPTSizes(), mpress.MustGPT
+		schedule, defaultMB = mpress.DAPPLE, 2
+	default:
+		fail("unknown family %q", *family)
+	}
+	if *sizesFlag != "" {
+		sizes = strings.Split(*sizesFlag, ",")
+	}
+
+	mbs := []int{defaultMB}
+	if *mbFlag != "" {
+		mbs = nil
+		for _, s := range strings.Split(*mbFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v <= 0 {
+				fail("bad microbatch size %q", s)
+			}
+			mbs = append(mbs, v)
+		}
+	}
+
+	var systems []mpress.System
+	var systemNames []string
+	for _, name := range strings.Split(*systemsFlag, ",") {
+		name = strings.TrimSpace(strings.ToLower(name))
+		sys, ok := systemByName[name]
+		if !ok {
+			fail("unknown system %q", name)
+		}
+		systems = append(systems, sys)
+		systemNames = append(systemNames, name)
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	if err := w.Write([]string{
+		"family", "size", "params_b", "topology", "system", "microbatch",
+		"status", "tflops", "samples_per_sec", "max_gpu_peak_gib", "host_peak_gib",
+	}); err != nil {
+		fail("%v", err)
+	}
+
+	for _, size := range sizes {
+		m := variant(size)
+		for _, mb := range mbs {
+			for i, sys := range systems {
+				rep, err := mpress.Train(mpress.Config{
+					Topology:       topo,
+					Model:          m,
+					Schedule:       schedule,
+					System:         sys,
+					MicrobatchSize: mb,
+				})
+				row := []string{
+					*family, size, fmt.Sprintf("%.2f", m.Billions()),
+					topo.Name, systemNames[i], strconv.Itoa(mb),
+				}
+				switch {
+				case err != nil:
+					row = append(row, "error", "", "", "", "")
+				case rep.Failed():
+					row = append(row, "oom", "", "", "", "")
+				default:
+					var peak mpress.Bytes
+					for _, p := range rep.PerGPUPeak {
+						if p > peak {
+							peak = p
+						}
+					}
+					row = append(row,
+						"ok",
+						fmt.Sprintf("%.2f", rep.TFLOPS),
+						fmt.Sprintf("%.2f", rep.SamplesPerSec),
+						fmt.Sprintf("%.2f", peak.GiBf()),
+						fmt.Sprintf("%.2f", rep.HostPeak.GiBf()),
+					)
+				}
+				if err := w.Write(row); err != nil {
+					fail("%v", err)
+				}
+				w.Flush()
+			}
+		}
+	}
+}

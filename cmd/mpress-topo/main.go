@@ -1,0 +1,75 @@
+// Command mpress-topo prints a server topology's NVLink lane matrix
+// (like `nvidia-smi topo -m`) and the Fig. 4 link-bandwidth
+// microbenchmark measured on the simulated fabric.
+//
+// Usage:
+//
+//	mpress-topo -topo dgx1
+//	mpress-topo -topo dgx2 -size 256MiB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpress/internal/fabric"
+	"mpress/internal/hw"
+	"mpress/internal/units"
+)
+
+func main() {
+	topoName := flag.String("topo", "dgx1", "topology: dgx1, dgx1-nvme, dgx2, grace")
+	sizeStr := flag.String("size", "256MiB", "transfer size for the bandwidth probe")
+	flag.Parse()
+
+	var topo *hw.Topology
+	switch strings.ToLower(*topoName) {
+	case "dgx1":
+		topo = hw.DGX1()
+	case "dgx1-nvme":
+		topo = hw.DGX1WithNVMe()
+	case "dgx2":
+		topo = hw.DGX2()
+	case "grace":
+		topo = hw.GraceHopper()
+	default:
+		fmt.Fprintf(os.Stderr, "mpress-topo: unknown topology %q\n", *topoName)
+		os.Exit(2)
+	}
+	size, err := units.ParseBytes(*sizeStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpress-topo: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%s: %d x %s (%v each), host %v\n", topo.Name, topo.NumGPUs,
+		topo.GPU.Name, topo.GPU.Memory, topo.HostMemory)
+	fmt.Printf("NVLink: %v/lane, %d lanes per GPU; PCIe %v", topo.NVLinkLaneBW,
+		topo.LanesPerGPU, topo.PCIeBW)
+	if topo.NVMeBW > 0 {
+		fmt.Printf("; NVMe %v (%v)", topo.NVMeBW, topo.NVMeSize)
+	}
+	fmt.Println()
+	if topo.Switched {
+		fmt.Println("\nsymmetric NVSwitch fabric: every pair fully connected")
+	} else {
+		fmt.Println("\nlane matrix:")
+		fmt.Print(topo.LaneMatrixString())
+	}
+
+	fmt.Printf("\neffective bandwidth at %v from gpu0:\n", size)
+	fmt.Printf("  PCIe (to host): %v\n", fabric.EffectiveHostBandwidth(topo, 0, size))
+	for _, nb := range topo.NVLinkNeighbors(0) {
+		fmt.Printf("  -> %v (%d lanes): %v\n", nb, topo.LanesBetween(0, nb),
+			fabric.EffectiveBandwidth(topo, 0, nb, size, 0))
+	}
+	if !topo.Switched {
+		parts := []fabric.Part{
+			{Peer: 1, Bytes: size / 6}, {Peer: 2, Bytes: size / 6},
+			{Peer: 3, Bytes: size / 3}, {Peer: 4, Bytes: size - size/6*2 - size/3},
+		}
+		fmt.Printf("  6-lane weighted scatter: %v\n", fabric.EffectiveScatterBandwidth(topo, 0, parts))
+	}
+}

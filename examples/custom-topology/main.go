@@ -1,0 +1,78 @@
+// custom-topology shows that the library is not DGX-specific: it
+// builds a hypothetical 4-GPU workstation with an asymmetric NVLink
+// ring and a custom transformer, then lets MPress plan around the
+// tight 16 GiB cards — all through the public mpress package.
+//
+//	go run ./examples/custom-topology
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpress"
+)
+
+func main() {
+	// Four 16 GiB GPUs on a ring: neighbors share two NVLink lanes,
+	// opposite corners are not directly connected.
+	topo := &mpress.Topology{
+		Name:    "quad-ring",
+		NumGPUs: 4,
+		GPU: mpress.GPUSpec{
+			Name:       "hypothetical-16GB",
+			Memory:     16 * mpress.GiB,
+			PeakFP32:   mpress.TFLOPS(20),
+			PeakFP16:   mpress.TFLOPS(160),
+			Efficiency: 0.4,
+			HBM:        mpress.GBps(1200),
+		},
+		NVLinkLanes: [][]int{
+			{0, 2, 0, 2},
+			{2, 0, 2, 0},
+			{0, 2, 0, 2},
+			{2, 0, 2, 0},
+		},
+		LanesPerGPU:   4,
+		NVLinkLaneBW:  mpress.GBps(24.3),
+		NVLinkLatency: 10_000, // 10us in simulated nanoseconds
+		PCIeBW:        mpress.GBps(11.7),
+		PCIeLatency:   20_000,
+		HostMemory:    256 * mpress.GiB,
+	}
+	if err := topo.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A custom 2.3B-parameter decoder.
+	m := mpress.Model{
+		Name: "custom-2.3B", Arch: mpress.ArchGPT,
+		Layers: 28, Hidden: 2560, Heads: 40, SeqLen: 1024, Vocab: 32000,
+		DType: mpress.FP16,
+	}
+	fmt.Printf("model: %s (%.2fB params) on %s (%d x %v)\n\n",
+		m.Name, m.Billions(), topo.Name, topo.NumGPUs, topo.GPU.Memory)
+
+	for _, sys := range []mpress.System{mpress.SystemPlain, mpress.SystemMPress} {
+		rep, err := mpress.Train(mpress.Config{
+			Topology:       topo,
+			Model:          m,
+			Schedule:       mpress.DAPPLE,
+			System:         sys,
+			Stages:         4,
+			MicrobatchSize: 4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.Failed() {
+			fmt.Printf("%-8v OOM: %v\n", sys, rep.OOM)
+			continue
+		}
+		fmt.Printf("%-8v %.1f TFLOPS, peaks:", sys, rep.TFLOPS)
+		for _, p := range rep.PerGPUPeak {
+			fmt.Printf(" %.1f", p.GiBf())
+		}
+		fmt.Println(" GiB")
+	}
+}

@@ -1,0 +1,40 @@
+// Quickstart: train a Bert variant on a simulated DGX-1 with MPress.
+//
+// This is the smallest end-to-end use of the public API: pick a
+// testbed, pick a model, pick a system, call Train, read the report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpress"
+)
+
+func main() {
+	report, err := mpress.Train(mpress.Config{
+		Topology:       mpress.DGX1(),            // 8 x V100-32GB, asymmetric NVLink
+		Model:          mpress.MustBert("0.64B"), // too big for plain PipeDream
+		Schedule:       mpress.PipeDream,
+		System:         mpress.SystemMPress,
+		MicrobatchSize: 12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if report.Failed() {
+		log.Fatalf("out of memory: %v", report.OOM)
+	}
+
+	fmt.Printf("trained %s with MPress on %s\n",
+		report.Config.Model.Name, report.Config.Topology.Name)
+	fmt.Printf("  throughput: %.1f TFLOPS (%.1f samples/s)\n",
+		report.TFLOPS, report.SamplesPerSec)
+	fmt.Printf("  iteration:  %v simulated\n", report.Duration)
+	fmt.Printf("  stage->GPU: %v\n", report.Mapping)
+	for g, peak := range report.PerGPUPeak {
+		fmt.Printf("  gpu%d peak:  %v\n", g, peak)
+	}
+}

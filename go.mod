@@ -1,0 +1,3 @@
+module mpress
+
+go 1.22

@@ -1,0 +1,169 @@
+package mpress_test
+
+// Integration tests: the paper's headline qualitative results asserted
+// end to end through the public API. These are the regression anchors
+// for EXPERIMENTS.md — if a calibration or planner change breaks a
+// paper-shape fact, it fails here, not just in a table diff.
+
+import (
+	"testing"
+
+	"mpress"
+)
+
+func trainBert(t *testing.T, size string, sys mpress.System) *mpress.Report {
+	t.Helper()
+	rep, err := mpress.Train(mpress.Config{
+		Topology:       mpress.DGX1(),
+		Model:          mpress.MustBert(size),
+		Schedule:       mpress.PipeDream,
+		System:         sys,
+		MicrobatchSize: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func trainGPT(t *testing.T, topo *mpress.Topology, size string, sys mpress.System) *mpress.Report {
+	t.Helper()
+	rep, err := mpress.Train(mpress.Config{
+		Topology:       topo,
+		Model:          mpress.MustGPT(size),
+		Schedule:       mpress.DAPPLE,
+		System:         sys,
+		MicrobatchSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestFigure7SurvivalPattern pins the OOM/survive grid of Fig. 7.
+func TestFigure7SurvivalPattern(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig. 7 grid")
+	}
+	want := map[string]map[mpress.System]bool{ // size -> system -> survives
+		"0.35B": {mpress.SystemPlain: true, mpress.SystemGPUCPUSwap: true, mpress.SystemRecompute: true, mpress.SystemMPressD2D: true, mpress.SystemMPress: true},
+		"0.64B": {mpress.SystemPlain: false, mpress.SystemGPUCPUSwap: true, mpress.SystemRecompute: true, mpress.SystemMPressD2D: true, mpress.SystemMPress: true},
+		"1.67B": {mpress.SystemPlain: false, mpress.SystemGPUCPUSwap: true, mpress.SystemRecompute: true, mpress.SystemMPressD2D: false, mpress.SystemMPress: true},
+		"4.0B":  {mpress.SystemPlain: false, mpress.SystemGPUCPUSwap: true, mpress.SystemRecompute: false, mpress.SystemMPressD2D: false, mpress.SystemMPress: true},
+		"6.2B":  {mpress.SystemPlain: false, mpress.SystemGPUCPUSwap: true, mpress.SystemRecompute: false, mpress.SystemMPressD2D: false, mpress.SystemMPress: true},
+	}
+	for size, systems := range want {
+		for sys, survives := range systems {
+			rep := trainBert(t, size, sys)
+			if got := !rep.Failed(); got != survives {
+				t.Errorf("Bert-%s under %v: survives=%v, paper shape wants %v",
+					size, sys, got, survives)
+			}
+		}
+	}
+}
+
+// TestFigure7Ordering pins the throughput ordering at the crossover
+// sizes: swap < recompute < MPress.
+func TestFigure7Ordering(t *testing.T) {
+	for _, size := range []string{"0.64B", "1.67B"} {
+		swap := trainBert(t, size, mpress.SystemGPUCPUSwap)
+		rec := trainBert(t, size, mpress.SystemRecompute)
+		full := trainBert(t, size, mpress.SystemMPress)
+		if swap.Failed() || rec.Failed() || full.Failed() {
+			t.Fatalf("Bert-%s: unexpected OOM", size)
+		}
+		if !(swap.TFLOPS < rec.TFLOPS && rec.TFLOPS < full.TFLOPS) {
+			t.Errorf("Bert-%s ordering: swap %.1f, recompute %.1f, MPress %.1f",
+				size, swap.TFLOPS, rec.TFLOPS, full.TFLOPS)
+		}
+	}
+}
+
+// TestFigure8Ordering pins MPress > ZeRO-Infinity > ZeRO-Offload on
+// the DGX-1 and the slow-SSD inversion on the DGX-2.
+func TestFigure8Ordering(t *testing.T) {
+	mp := trainGPT(t, mpress.DGX1(), "10.3B", mpress.SystemMPress)
+	inf := trainGPT(t, mpress.DGX1WithNVMe(), "10.3B", mpress.SystemZeROInfinity)
+	off := trainGPT(t, mpress.DGX1WithNVMe(), "10.3B", mpress.SystemZeROOffload)
+	if mp.Failed() || inf.Failed() || off.Failed() {
+		t.Fatal("unexpected OOM")
+	}
+	if !(mp.TFLOPS > inf.TFLOPS && inf.TFLOPS > off.TFLOPS) {
+		t.Errorf("DGX-1 ordering: MPress %.1f, Infinity %.1f, Offload %.1f",
+			mp.TFLOPS, inf.TFLOPS, off.TFLOPS)
+	}
+	// MPress leads ZeRO-Infinity by a clear margin (paper: 37-41%).
+	if gain := mp.TFLOPS/inf.TFLOPS - 1; gain < 0.15 {
+		t.Errorf("MPress/Infinity gain = %.0f%%, want a clear lead", gain*100)
+	}
+
+	inf2 := trainGPT(t, mpress.DGX2(), "20.4B", mpress.SystemZeROInfinity)
+	off2 := trainGPT(t, mpress.DGX2(), "20.4B", mpress.SystemZeROOffload)
+	mp2 := trainGPT(t, mpress.DGX2(), "20.4B", mpress.SystemMPress)
+	if inf2.TFLOPS >= off2.TFLOPS {
+		t.Errorf("DGX-2 slow SSDs must invert: Infinity %.1f vs Offload %.1f",
+			inf2.TFLOPS, off2.TFLOPS)
+	}
+	if mp2.TFLOPS <= inf2.TFLOPS || mp2.TFLOPS <= off2.TFLOPS {
+		t.Errorf("MPress (%.1f) must lead both ZeRO variants (%.1f, %.1f) on DGX-2",
+			mp2.TFLOPS, off2.TFLOPS, inf2.TFLOPS)
+	}
+}
+
+// TestMPressNearBestSingleMechanism: the combined planner must be at
+// least as good as ~95% of the best stand-alone mechanism wherever
+// both survive (it should usually win outright).
+func TestMPressNearBestSingleMechanism(t *testing.T) {
+	for _, size := range []string{"0.64B", "1.67B"} {
+		best := 0.0
+		for _, sys := range []mpress.System{
+			mpress.SystemGPUCPUSwap, mpress.SystemRecompute, mpress.SystemMPressD2D,
+		} {
+			rep := trainBert(t, size, sys)
+			if !rep.Failed() && rep.TFLOPS > best {
+				best = rep.TFLOPS
+			}
+		}
+		full := trainBert(t, size, mpress.SystemMPress)
+		if full.Failed() {
+			t.Fatalf("Bert-%s: MPress OOM", size)
+		}
+		if full.TFLOPS < best*0.95 {
+			t.Errorf("Bert-%s: MPress %.1f far below best single mechanism %.1f",
+				size, full.TFLOPS, best)
+		}
+	}
+}
+
+// TestDGX2DoublesDGX1 pins the Sec. IV-C observation that the A100
+// server more than doubles every system's throughput.
+func TestDGX2DoublesDGX1(t *testing.T) {
+	for _, sys := range []mpress.System{mpress.SystemRecompute, mpress.SystemMPress} {
+		v := trainGPT(t, mpress.DGX1(), "10.3B", sys)
+		a := trainGPT(t, mpress.DGX2(), "10.3B", sys)
+		if v.Failed() || a.Failed() {
+			t.Fatalf("%v: unexpected OOM", sys)
+		}
+		if a.TFLOPS <= 2*v.TFLOPS {
+			t.Errorf("%v: DGX-2 %.1f not >2x DGX-1 %.1f", sys, a.TFLOPS, v.TFLOPS)
+		}
+	}
+}
+
+// TestTrainDeterministicEndToEnd: the whole stack, planner included,
+// is reproducible.
+func TestTrainDeterministicEndToEnd(t *testing.T) {
+	a := trainBert(t, "1.67B", mpress.SystemMPress)
+	b := trainBert(t, "1.67B", mpress.SystemMPress)
+	if a.TFLOPS != b.TFLOPS || a.Duration != b.Duration {
+		t.Errorf("nondeterministic training: %.3f/%v vs %.3f/%v",
+			a.TFLOPS, a.Duration, b.TFLOPS, b.Duration)
+	}
+	for i := range a.PerGPUPeak {
+		if a.PerGPUPeak[i] != b.PerGPUPeak[i] {
+			t.Errorf("gpu%d peaks differ", i)
+		}
+	}
+}

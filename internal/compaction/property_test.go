@@ -1,0 +1,134 @@
+package compaction
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpress/internal/fabric"
+	"mpress/internal/hw"
+	"mpress/internal/units"
+)
+
+func stripedTo(parts []fabric.Part, peer hw.DeviceID) units.Bytes {
+	var total units.Bytes
+	for _, p := range parts {
+		if p.Peer == peer {
+			total += p.Bytes
+		}
+	}
+	return total
+}
+
+// TestPlanStripesConservationProperty: over random budgets and sizes,
+// a successful plan covers the exact size, routes only to reachable
+// peers, and debits the budget by exactly what it striped; a failed
+// plan leaves the budget untouched.
+func TestPlanStripesConservationProperty(t *testing.T) {
+	topo := hw.DGX1()
+	f := func(sizeIn uint32, b1, b2, b3, b4 uint32, srcIn uint8) bool {
+		src := hw.DeviceID(int(srcIn) % 8)
+		size := units.Bytes(sizeIn)
+		budget := SpareBudget{}
+		for i, v := range []uint32{b1, b2, b3, b4} {
+			// Spread budget over four arbitrary GPUs (some may not be
+			// neighbors of src — the planner must ignore those).
+			id := hw.DeviceID((int(srcIn) + i + 1) % 8)
+			budget[id] += units.Bytes(v)
+		}
+		before := budget.Clone()
+		parts := PlanStripes(topo, src, size, budget)
+		if parts == nil {
+			for k, v := range before {
+				if budget[k] != v {
+					return false
+				}
+			}
+			return true
+		}
+		var total units.Bytes
+		for _, p := range parts {
+			if p.Bytes <= 0 {
+				return false
+			}
+			if topo.LanesBetween(src, p.Peer) == 0 {
+				return false
+			}
+			total += p.Bytes
+		}
+		if total != size {
+			return false
+		}
+		for k := range before {
+			if budget[k] < 0 {
+				return false
+			}
+			if budget[k]+stripedTo(parts, k) != before[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlanStripesSwitchedProperty: on the symmetric fabric every GPU
+// with budget is reachable, so any size within the total budget plans.
+func TestPlanStripesSwitchedProperty(t *testing.T) {
+	topo := hw.DGX2()
+	f := func(sizeIn uint32, b1, b2 uint16) bool {
+		size := units.Bytes(sizeIn%1_000_000) + 1
+		budget := SpareBudget{1: units.Bytes(b1), 5: units.Bytes(b2)}
+		total := budget.Total()
+		parts := PlanStripes(topo, 0, size, budget)
+		if size <= total {
+			if parts == nil {
+				return false
+			}
+			var sum units.Bytes
+			for _, p := range parts {
+				sum += p.Bytes
+			}
+			return sum == size
+		}
+		return parts == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestD2DCostMonotonicInSize: bigger tensors never swap faster.
+func TestD2DCostMonotonicInSize(t *testing.T) {
+	topo := hw.DGX1()
+	parts := func(size units.Bytes) []fabric.Part {
+		return []fabric.Part{{Peer: 3, Bytes: size / 2}, {Peer: 4, Bytes: size - size/2}}
+	}
+	f := func(a, b uint32) bool {
+		x, y := units.Bytes(a), units.Bytes(b)
+		if x > y {
+			x, y = y, x
+		}
+		return D2DSwapCost(topo, 0, parts(x)) <= D2DSwapCost(topo, 0, parts(y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHostSwapCostAlwaysAboveD2D: with NVLink reachable peers, D2D is
+// strictly faster at any size (the Table III premise).
+func TestHostSwapCostAlwaysAboveD2D(t *testing.T) {
+	topo := hw.DGX1()
+	f := func(sizeIn uint32) bool {
+		size := units.Bytes(sizeIn) + 1
+		d2d := D2DSwapCost(topo, 0, []fabric.Part{
+			{Peer: 3, Bytes: size / 2}, {Peer: 4, Bytes: size - size/2},
+		})
+		return d2d < HostSwapCost(topo, size)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,558 @@
+// Package exec runs a lowered training job (internal/pipeline.Built)
+// on a simulated server (internal/hw + internal/fabric): it walks the
+// dataflow graph event by event, occupying GPU compute streams and
+// interconnect lanes, and accounting every tensor's residency against
+// per-GPU memory capacity.
+//
+// This one component plays two roles from the paper's Fig. 5: it is
+// the *emulator* the planner consults for feedback (run one iteration,
+// observe memory and time), and the runtime *executor* that triggers
+// memory-saving operators (swap-out/in, drop/recompute) in dependency
+// order.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"mpress/internal/fabric"
+	"mpress/internal/graph"
+	"mpress/internal/hw"
+	"mpress/internal/memsim"
+	"mpress/internal/pipeline"
+	"mpress/internal/sim"
+	"mpress/internal/tensor"
+	"mpress/internal/units"
+)
+
+// Options configures one simulated run.
+type Options struct {
+	Topo  *hw.Topology
+	Built *pipeline.Built
+	// Mapping assigns each pipeline stage to a GPU. len(Mapping) must
+	// equal the stage count and entries must be distinct GPUs.
+	Mapping []hw.DeviceID
+	// D2DRoutes gives the striping plan for D2D swap operators, keyed
+	// by the swap-out AND swap-in op IDs. Swap ops absent from this
+	// map are routed over PCIe to host memory.
+	D2DRoutes map[graph.OpID][]fabric.Part
+	// InitiallySwapped marks persistent tensors that start in host
+	// memory instead of on their GPU (their first use must be
+	// preceded by an instrumented swap-in).
+	InitiallySwapped map[tensor.ID]bool
+	// Unbounded disables GPU capacity checks (used by planning passes
+	// that need to measure demand beyond capacity).
+	Unbounded bool
+	// SampleMemory records a per-GPU memory snapshot at every
+	// operator completion (the paper's Fig. 1 bottom curves).
+	SampleMemory bool
+	// AllowSharedDevices permits several stages on one GPU (virtual
+	// pipeline stages); they share the GPU's compute stream and
+	// memory. Without it, duplicate mapping entries are rejected.
+	AllowSharedDevices bool
+}
+
+// MemSample is one point of the memory-over-time curve.
+type MemSample struct {
+	At    sim.Time
+	InUse []units.Bytes // per GPU
+}
+
+// Span is an operator's simulated execution window.
+type Span struct {
+	Start sim.Time
+	End   sim.Time
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Duration is the simulated wall-clock of the whole run.
+	Duration units.Duration
+	// OOM is non-nil if the job died of GPU out-of-memory; the rest
+	// of the result describes the partial run.
+	OOM *memsim.OOMError
+	// GPUs holds per-device memory statistics (peak is the key one).
+	GPUs []memsim.Stats
+	Host memsim.Stats
+	// Spans[op] is each operator's execution window (zero if never
+	// ran, e.g. after an OOM).
+	Spans []Span
+	// UsefulFLOPs excludes recomputation; TFLOPS and SamplesPerSec
+	// are the paper's two throughput metrics.
+	UsefulFLOPs   units.FLOPs
+	TFLOPS        float64
+	SamplesPerSec float64
+	// ComputeBusy is per-GPU compute-stream occupancy.
+	ComputeBusy []units.Duration
+	// OOMResidents breaks down what occupied the failing device when
+	// OOM hit, keyed "stage<N>/<class>" (plus "reserve"); nil when
+	// the run succeeded. Sizes include only GPU-resident bytes.
+	OOMResidents map[string]units.Bytes
+	// Fabric aggregates interconnect traffic; NVMe is the SSD tier's
+	// residency (only used when host memory spills over).
+	Fabric fabric.Stats
+	NVMe   memsim.Stats
+	// MemorySamples is the Fig. 1 memory-over-time series (only when
+	// Options.SampleMemory is set).
+	MemorySamples []MemSample
+}
+
+// residency tracks where a tensor's bytes currently live.
+type residency int
+
+const (
+	resUnallocated residency = iota
+	resOnGPU
+	resSwappedHost
+	resSwappedNVMe
+	resSwappedPeers
+	resDropped
+	resFreed
+)
+
+type engine struct {
+	o       Options
+	sim     *sim.Sim
+	fab     *fabric.Fabric
+	gpus    []*memsim.Device
+	host    *memsim.Device
+	nvme    *memsim.Device
+	pinned  *memsim.PinnedPool
+	compute []*sim.Queue
+
+	g         *graph.Graph
+	preds     []int
+	succs     [][]graph.OpID
+	lastFree  map[graph.OpID][]tensor.ID // tensors to free after op completes
+	state     []residency
+	pinnedBuf map[tensor.ID]units.Bytes // actual pinned buffer backing a host-swapped tensor
+
+	spans        []Span
+	oom          *memsim.OOMError
+	oomResidents map[string]units.Bytes
+	samples      []MemSample
+	rate         units.FLOPSRate
+}
+
+// Run simulates the job and returns its result. Configuration errors
+// (bad mapping, mismatched routes) return an error; OOM is reported
+// inside the Result, mirroring how a real job fails at runtime.
+func Run(o Options) (*Result, error) {
+	if o.Topo == nil || o.Built == nil {
+		return nil, fmt.Errorf("exec: Topo and Built are required")
+	}
+	S := o.Built.NumStages()
+	if len(o.Mapping) != S {
+		return nil, fmt.Errorf("exec: mapping has %d entries for %d stages", len(o.Mapping), S)
+	}
+	seen := make(map[hw.DeviceID]bool)
+	for s, d := range o.Mapping {
+		if !d.IsGPU() || int(d) >= o.Topo.NumGPUs {
+			return nil, fmt.Errorf("exec: stage %d mapped to %v", s, d)
+		}
+		if seen[d] && !o.AllowSharedDevices {
+			return nil, fmt.Errorf("exec: %v hosts two stages", d)
+		}
+		seen[d] = true
+	}
+
+	e := &engine{o: o, sim: sim.New(), g: o.Built.Graph}
+	e.fab = fabric.New(e.sim, o.Topo)
+	e.gpus = make([]*memsim.Device, o.Topo.NumGPUs)
+	e.compute = make([]*sim.Queue, o.Topo.NumGPUs)
+	capacity := o.Topo.GPU.Memory
+	if o.Unbounded {
+		capacity = 0
+	}
+	for i := range e.gpus {
+		e.gpus[i] = memsim.NewDevice(fmt.Sprintf("gpu%d", i), capacity)
+		e.compute[i] = sim.NewQueue(e.sim, fmt.Sprintf("gpu%d-compute", i))
+	}
+	e.host = memsim.NewDevice("host", o.Topo.HostMemory)
+	e.nvme = memsim.NewDevice("nvme", o.Topo.NVMeSize)
+	e.pinned = memsim.NewPinnedPool(e.host)
+	e.pinnedBuf = make(map[tensor.ID]units.Bytes)
+
+	if o.Built.Cfg.Model.DType == tensor.FP32 {
+		e.rate = o.Topo.GPU.EffectiveFP32()
+	} else {
+		e.rate = o.Topo.GPU.EffectiveFP16()
+	}
+
+	if err := e.init(); err != nil {
+		return nil, err
+	}
+	if e.oom == nil {
+		e.start()
+		e.sim.Run()
+	}
+	return e.result(), nil
+}
+
+// init allocates the runtime reserve and persistent state, and builds
+// the dependency bookkeeping.
+func (e *engine) init() error {
+	b := e.o.Built
+	reserved := make(map[hw.DeviceID]bool)
+	for _, d := range e.o.Mapping {
+		if reserved[d] {
+			continue // co-located stages share one runtime reserve
+		}
+		reserved[d] = true
+		e.gpus[d].MustAlloc(pipeline.RuntimeReserve, "runtime reserve")
+	}
+	e.state = make([]residency, e.g.Tensors.Len())
+	for s, ids := range b.Persistent {
+		dev := e.gpus[e.o.Mapping[s]]
+		for _, id := range ids {
+			tn := e.g.Tensors.Get(id)
+			if e.o.InitiallySwapped[id] {
+				buf, err := e.pinned.Get(tn.Size)
+				if err != nil {
+					return fmt.Errorf("exec: host memory exhausted staging %s: %v", tn.Name, err)
+				}
+				e.pinnedBuf[id] = buf
+				e.state[id] = resSwappedHost
+				continue
+			}
+			if err := dev.Alloc(tn.Size, tn.Name); err != nil {
+				e.oom = err.(*memsim.OOMError)
+				e.oomResidents = e.residentsOn(e.oom.Device)
+				return nil
+			}
+			e.state[id] = resOnGPU
+		}
+	}
+
+	order, err := e.g.TopoOrder()
+	if err != nil {
+		return fmt.Errorf("exec: %w", err)
+	}
+	preds := e.g.Preds()
+	e.preds = make([]int, e.g.Len())
+	e.succs = make([][]graph.OpID, e.g.Len())
+	for i, ps := range preds {
+		e.preds[i] = len(ps)
+		for _, p := range ps {
+			e.succs[p] = append(e.succs[p], graph.OpID(i))
+		}
+	}
+	// Memory-releasing successors (drops, swap-outs) dispatch before
+	// memory-consuming ones so that a completed forward's evictions
+	// free space before the next slot allocates — matching how the
+	// runtime issues releases eagerly on the swap streams.
+	releasing := func(id graph.OpID) bool {
+		k := e.g.Op(id).Kind
+		return k == graph.Drop || k == graph.SwapOut
+	}
+	for _, ss := range e.succs {
+		sort.SliceStable(ss, func(a, b int) bool {
+			ra, rb := releasing(ss[a]), releasing(ss[b])
+			if ra != rb {
+				return ra
+			}
+			return ss[a] < ss[b]
+		})
+	}
+	// Freeing points: after a tensor's last-consuming op, or after its
+	// producer if nothing consumes it. Persistent tensors never free.
+	live := e.g.Analyze(order)
+	e.lastFree = make(map[graph.OpID][]tensor.ID)
+	for t := 0; t < e.g.Tensors.Len(); t++ {
+		id := tensor.ID(t)
+		if b.PersistentSet[id] {
+			continue
+		}
+		var at graph.OpID = -1
+		if uses := live.Uses[id]; len(uses) > 0 {
+			at = uses[len(uses)-1].Op
+		} else if live.Def[id] >= 0 {
+			at = order[live.Def[id]]
+		}
+		if at >= 0 {
+			e.lastFree[at] = append(e.lastFree[at], id)
+		}
+	}
+	e.spans = make([]Span, e.g.Len())
+	return nil
+}
+
+// start dispatches every dependency-free op at time zero.
+func (e *engine) start() {
+	for i := range e.preds {
+		if e.preds[i] == 0 {
+			id := graph.OpID(i)
+			e.sim.At(0, func() { e.dispatch(id) })
+		}
+	}
+}
+
+func (e *engine) fail(oom *memsim.OOMError) {
+	if e.oom == nil {
+		e.oom = oom
+		e.oomResidents = e.residentsOn(oom.Device)
+	}
+	e.sim.Stop()
+}
+
+// residentsOn summarizes the GPU-resident bytes of the named device by
+// stage and tensor class, for OOM diagnostics.
+func (e *engine) residentsOn(device string) map[string]units.Bytes {
+	out := map[string]units.Bytes{"reserve": pipeline.RuntimeReserve}
+	for t, st := range e.state {
+		if st != resOnGPU {
+			continue
+		}
+		tn := e.g.Tensors.Get(tensor.ID(t))
+		if e.gpuOf(tensor.ID(t)).String() != device {
+			continue
+		}
+		out[fmt.Sprintf("stage%d/%s", tn.Stage, tn.Class)] += tn.Size
+	}
+	// D2D imports land on devices that do not host the tensor's
+	// stage; they are visible as the residual against InUse.
+	return out
+}
+
+// alloc charges size bytes for tensor use on dev, failing the run on
+// OOM. It reports whether the allocation succeeded.
+func (e *engine) alloc(dev hw.DeviceID, size units.Bytes, what string) bool {
+	if err := e.gpus[dev].Alloc(size, what); err != nil {
+		e.fail(err.(*memsim.OOMError))
+		return false
+	}
+	return true
+}
+
+// gpuOf returns the device hosting a tensor.
+func (e *engine) gpuOf(t tensor.ID) hw.DeviceID {
+	return e.o.Mapping[e.g.Tensors.Get(t).Stage]
+}
+
+// dispatch begins executing op: performs its dispatch-time memory
+// effects and reserves its resource, scheduling completion.
+func (e *engine) dispatch(id graph.OpID) {
+	op := e.g.Op(id)
+	now := e.sim.Now()
+	switch op.Kind {
+	case graph.Forward, graph.Backward, graph.OptimizerStep, graph.Recompute:
+		gpu := e.o.Mapping[op.Stage]
+		if op.Kind == graph.Recompute {
+			// Rematerialize the dropped activation.
+			if e.state[op.Subject] != resDropped {
+				panic(fmt.Sprintf("exec: recompute of %s in state %d",
+					e.g.Tensors.Get(op.Subject).Name, e.state[op.Subject]))
+			}
+			if !e.alloc(gpu, e.g.Tensors.Get(op.Subject).Size, e.g.Tensors.Get(op.Subject).Name) {
+				return
+			}
+			e.state[op.Subject] = resOnGPU
+		} else {
+			for _, out := range op.Outputs {
+				tn := e.g.Tensors.Get(out)
+				if e.o.Built.PersistentSet[out] || e.state[out] == resOnGPU {
+					continue
+				}
+				if !e.alloc(gpu, tn.Size, tn.Name) {
+					return
+				}
+				e.state[out] = resOnGPU
+			}
+		}
+		dur := e.rate.ComputeTime(op.FLOPs)
+		if op.Kind == graph.OptimizerStep {
+			dur = e.o.Topo.GPU.HBM.TransferTime(op.MoveBytes)
+		}
+		e.compute[gpu].Submit(dur, func(start, end sim.Time) {
+			e.complete(id, start, end)
+		})
+
+	case graph.Transfer:
+		in := e.g.Tensors.Get(op.Inputs[0])
+		out := e.g.Tensors.Get(op.Outputs[0])
+		src := e.o.Mapping[in.Stage]
+		dst := e.o.Mapping[out.Stage]
+		if !e.alloc(dst, out.Size, out.Name) {
+			return
+		}
+		e.state[op.Outputs[0]] = resOnGPU
+		if src == dst {
+			// Co-located virtual stages hand off through device
+			// memory at HBM speed.
+			dur := e.o.Topo.GPU.HBM.TransferTime(op.MoveBytes)
+			start := now
+			e.sim.At(now+dur, func() { e.complete(id, start, now+dur) })
+			return
+		}
+		start, end := e.fab.P2P(src, dst, op.MoveBytes, 0)
+		e.sim.At(end, func() { e.complete(id, start, end) })
+
+	case graph.SwapOut:
+		gpu := e.gpuOf(op.Subject)
+		size := e.g.Tensors.Get(op.Subject).Size
+		if parts, ok := e.o.D2DRoutes[id]; ok {
+			for _, p := range parts {
+				if !e.alloc(p.Peer, p.Bytes, "d2d import:"+e.g.Tensors.Get(op.Subject).Name) {
+					return
+				}
+			}
+			start, end := e.fab.Scatter(gpu, parts)
+			e.sim.At(end, func() {
+				e.releaseSubject(op.Subject, gpu, resSwappedPeers)
+				e.complete(id, start, end)
+			})
+			return
+		}
+		buf, err := e.pinned.Get(size)
+		if err != nil {
+			// Host memory exhausted: spill to the NVMe tier if the
+			// server has one (the paper notes GPU-CPU swap extends to
+			// "storage devices like NVMe SSDs").
+			if e.fab.HasNVMe() {
+				if nerr := e.nvme.Alloc(size, e.g.Tensors.Get(op.Subject).Name); nerr != nil {
+					e.fail(nerr.(*memsim.OOMError))
+					return
+				}
+				// Stage over PCIe and stream onto the SSDs; the two
+				// legs pipeline, so the slower one bounds completion.
+				start, e1 := e.fab.HostLink(gpu, size, true)
+				_, e2 := e.fab.NVMeXfer(size)
+				end := e1
+				if e2 > end {
+					end = e2
+				}
+				e.sim.At(end, func() {
+					e.releaseSubject(op.Subject, gpu, resSwappedNVMe)
+					e.complete(id, start, end)
+				})
+				return
+			}
+			e.fail(&memsim.OOMError{Device: "host", Requested: size, InUse: e.host.InUse(), Capacity: e.host.Capacity(), What: "pinned swap buffer"})
+			return
+		}
+		e.pinnedBuf[op.Subject] = buf
+		start, end := e.fab.HostLink(gpu, size, true)
+		e.sim.At(end, func() {
+			e.releaseSubject(op.Subject, gpu, resSwappedHost)
+			e.complete(id, start, end)
+		})
+
+	case graph.SwapIn:
+		gpu := e.gpuOf(op.Subject)
+		tn := e.g.Tensors.Get(op.Subject)
+		if !e.alloc(gpu, tn.Size, tn.Name) {
+			return
+		}
+		if parts, ok := e.o.D2DRoutes[id]; ok {
+			if e.state[op.Subject] != resSwappedPeers {
+				panic(fmt.Sprintf("exec: d2d swap-in of %s in state %d", tn.Name, e.state[op.Subject]))
+			}
+			start, end := e.fab.Gather(gpu, parts)
+			e.sim.At(end, func() {
+				for _, p := range parts {
+					e.gpus[p.Peer].Release(p.Bytes)
+				}
+				e.state[op.Subject] = resOnGPU
+				e.complete(id, start, end)
+			})
+			return
+		}
+		if e.state[op.Subject] == resSwappedNVMe {
+			// Read back through the SSD tier and PCIe.
+			start, _ := e.fab.NVMeXfer(tn.Size)
+			_, end := e.fab.HostLink(gpu, tn.Size, false)
+			e.sim.At(end, func() {
+				e.nvme.Release(tn.Size)
+				e.state[op.Subject] = resOnGPU
+				e.complete(id, start, end)
+			})
+			return
+		}
+		if e.state[op.Subject] != resSwappedHost {
+			panic(fmt.Sprintf("exec: host swap-in of %s in state %d", tn.Name, e.state[op.Subject]))
+		}
+		start, end := e.fab.HostLink(gpu, tn.Size, false)
+		e.sim.At(end, func() {
+			e.pinned.Put(e.pinnedBuf[op.Subject])
+			delete(e.pinnedBuf, op.Subject)
+			e.state[op.Subject] = resOnGPU
+			e.complete(id, start, end)
+		})
+
+	case graph.Drop:
+		gpu := e.gpuOf(op.Subject)
+		e.releaseSubject(op.Subject, gpu, resDropped)
+		e.complete(id, now, now)
+
+	default:
+		panic(fmt.Sprintf("exec: unhandled op kind %v", op.Kind))
+	}
+}
+
+// releaseSubject returns a swapped/dropped tensor's GPU bytes.
+func (e *engine) releaseSubject(t tensor.ID, gpu hw.DeviceID, to residency) {
+	if e.state[t] != resOnGPU {
+		panic(fmt.Sprintf("exec: releasing %s in state %d", e.g.Tensors.Get(t).Name, e.state[t]))
+	}
+	e.gpus[gpu].Release(e.g.Tensors.Get(t).Size)
+	e.state[t] = to
+}
+
+// complete finishes op: frees dead tensors and unblocks successors.
+func (e *engine) complete(id graph.OpID, start, end sim.Time) {
+	e.spans[id] = Span{Start: start, End: end}
+	for _, t := range e.lastFree[id] {
+		if e.state[t] == resOnGPU {
+			e.gpus[e.gpuOf(t)].Release(e.g.Tensors.Get(t).Size)
+			e.state[t] = resFreed
+		}
+	}
+	if e.o.SampleMemory {
+		snap := make([]units.Bytes, len(e.gpus))
+		for i, d := range e.gpus {
+			snap[i] = d.InUse()
+		}
+		e.samples = append(e.samples, MemSample{At: end, InUse: snap})
+	}
+	for _, s := range e.succs[id] {
+		e.preds[s]--
+		if e.preds[s] == 0 {
+			e.dispatch(s)
+		}
+	}
+}
+
+func (e *engine) result() *Result {
+	r := &Result{
+		Duration:     e.sim.Now(),
+		OOM:          e.oom,
+		OOMResidents: e.oomResidents,
+		Spans:        e.spans,
+		UsefulFLOPs:  e.o.Built.UsefulFLOPs,
+	}
+	for _, d := range e.gpus {
+		r.GPUs = append(r.GPUs, d.Stats())
+	}
+	r.Host = e.host.Stats()
+	r.NVMe = e.nvme.Stats()
+	r.Fabric = e.fab.Stats()
+	r.MemorySamples = e.samples
+	for _, q := range e.compute {
+		r.ComputeBusy = append(r.ComputeBusy, q.BusyTime())
+	}
+	if e.oom == nil && r.Duration > 0 {
+		secs := r.Duration.Secondsf()
+		r.TFLOPS = r.UsefulFLOPs.TFLOPs() / secs
+		r.SamplesPerSec = float64(e.o.Built.SamplesProcessed()) / secs
+	}
+	return r
+}
+
+// IdentityMapping returns the default stage→GPU assignment 0..n-1.
+func IdentityMapping(n int) []hw.DeviceID {
+	m := make([]hw.DeviceID, n)
+	for i := range m {
+		m[i] = hw.DeviceID(i)
+	}
+	return m
+}

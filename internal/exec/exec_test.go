@@ -1,0 +1,392 @@
+package exec
+
+import (
+	"testing"
+
+	"mpress/internal/fabric"
+	"mpress/internal/graph"
+	"mpress/internal/hw"
+	"mpress/internal/model"
+	"mpress/internal/pipeline"
+	"mpress/internal/tensor"
+	"mpress/internal/units"
+)
+
+// tinyModel is small enough to simulate instantly but structured like
+// the real variants.
+func tinyModel() model.Config {
+	return model.Config{
+		Name: "Tiny", Arch: model.GPT,
+		Layers: 8, Hidden: 512, Heads: 8, SeqLen: 128, Vocab: 4096,
+		DType: tensor.FP16,
+	}
+}
+
+func buildTiny(t *testing.T, kind pipeline.ScheduleKind, stages int) *pipeline.Built {
+	return buildTinyM(t, kind, stages, 4)
+}
+
+func buildTinyM(t *testing.T, kind pipeline.ScheduleKind, stages, micro int) *pipeline.Built {
+	t.Helper()
+	cfg := tinyModel()
+	prec := model.MixedAdam()
+	part, err := pipeline.PartitionModel(cfg, stages, pipeline.ComputeBalanced, kind, prec, 2, micro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pipeline.Build(pipeline.BuildConfig{
+		Model: cfg, Prec: prec, Part: part, Kind: kind,
+		MicrobatchSize: 2, Microbatches: micro, Minibatches: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRunCompletes(t *testing.T) {
+	for _, kind := range []pipeline.ScheduleKind{pipeline.PipeDream, pipeline.DAPPLE, pipeline.GPipe} {
+		b := buildTiny(t, kind, 4)
+		r, err := Run(Options{Topo: hw.DGX1(), Built: b, Mapping: IdentityMapping(4)})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if r.OOM != nil {
+			t.Fatalf("%v: unexpected OOM: %v", kind, r.OOM)
+		}
+		if r.Duration <= 0 || r.TFLOPS <= 0 || r.SamplesPerSec <= 0 {
+			t.Errorf("%v: degenerate result %+v", kind, r)
+		}
+		for i, sp := range r.Spans {
+			if sp.End < sp.Start {
+				t.Errorf("%v: op %d span inverted", kind, i)
+			}
+			if sp.End == 0 && sp.Start == 0 && b.Graph.Op(graph.OpID(i)).Kind != graph.Drop {
+				// Drop ops may legitimately run at t=0... but only ops
+				// that ran have spans; everything must have run.
+				if b.Graph.Op(graph.OpID(i)).Name != "" && i > 0 {
+					// The first op can legitimately start at 0.
+					continue
+				}
+			}
+		}
+		// All GPU memory besides the reserve and persistent state must
+		// be returned at the end.
+		for s := 0; s < 4; s++ {
+			var persistent units.Bytes
+			for _, id := range b.Persistent[s] {
+				persistent += b.Graph.Tensors.Get(id).Size
+			}
+			want := persistent + pipeline.RuntimeReserve
+			if got := r.GPUs[s].InUse; got != want {
+				t.Errorf("%v: gpu%d leaks memory: in use %v, want %v", kind, s, got, want)
+			}
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	b1 := buildTiny(t, pipeline.DAPPLE, 4)
+	b2 := buildTiny(t, pipeline.DAPPLE, 4)
+	r1, err := Run(Options{Topo: hw.DGX1(), Built: b1, Mapping: IdentityMapping(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(Options{Topo: hw.DGX1(), Built: b2, Mapping: IdentityMapping(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Duration != r2.Duration {
+		t.Errorf("durations differ: %v vs %v", r1.Duration, r2.Duration)
+	}
+	for i := range r1.GPUs {
+		if r1.GPUs[i].Peak != r2.GPUs[i].Peak {
+			t.Errorf("gpu%d peaks differ", i)
+		}
+	}
+}
+
+func TestRunRejectsBadMapping(t *testing.T) {
+	b := buildTiny(t, pipeline.DAPPLE, 4)
+	topo := hw.DGX1()
+	cases := [][]hw.DeviceID{
+		nil,
+		{0, 1, 2},          // too short
+		{0, 1, 2, 2},       // duplicate
+		{0, 1, 2, 99},      // out of range
+		{0, 1, 2, hw.Host}, // not a GPU
+	}
+	for _, m := range cases {
+		if _, err := Run(Options{Topo: topo, Built: b, Mapping: m}); err == nil {
+			t.Errorf("mapping %v accepted", m)
+		}
+	}
+}
+
+func TestPipeDreamSlowerSchedulesMoreMemory(t *testing.T) {
+	// GPipe retains all microbatches' activations; 1F1B retains at
+	// most numStages-s. With 8 microbatches per minibatch, GPipe's
+	// stage-0 peak must exceed DAPPLE's (which caps at 4 in flight).
+	gp := buildTinyM(t, pipeline.GPipe, 4, 8)
+	da := buildTinyM(t, pipeline.DAPPLE, 4, 8)
+	rg, err := Run(Options{Topo: hw.DGX1(), Built: gp, Mapping: IdentityMapping(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Run(Options{Topo: hw.DGX1(), Built: da, Mapping: IdentityMapping(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.GPUs[0].Peak <= rd.GPUs[0].Peak {
+		t.Errorf("GPipe stage-0 peak %v must exceed DAPPLE's %v", rg.GPUs[0].Peak, rd.GPUs[0].Peak)
+	}
+}
+
+func TestMemoryImbalanceAcrossStages(t *testing.T) {
+	// Fig. 2: earlier stages peak higher under 1F1B.
+	b := buildTiny(t, pipeline.PipeDream, 4)
+	r, err := Run(Options{Topo: hw.DGX1(), Built: b, Mapping: IdentityMapping(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GPUs[0].Peak <= r.GPUs[3].Peak {
+		t.Errorf("stage-0 peak %v must exceed stage-3 peak %v", r.GPUs[0].Peak, r.GPUs[3].Peak)
+	}
+}
+
+func TestPeakTracksAnalyticDemand(t *testing.T) {
+	// The simulated peak should approximate the closed-form Demand
+	// model for a synchronous schedule.
+	b := buildTiny(t, pipeline.DAPPLE, 4)
+	r, err := Run(Options{Topo: hw.DGX1(), Built: b, Mapping: IdentityMapping(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := pipeline.Demand(b.Cfg.Model, b.Cfg.Prec, b.Cfg.Part, pipeline.DAPPLE, 2, 4)
+	for s := 0; s < 4; s++ {
+		got := float64(r.GPUs[s].Peak)
+		want := float64(d[s])
+		if got < want*0.7 || got > want*1.3 {
+			t.Errorf("stage %d: simulated peak %v vs analytic %v", s, r.GPUs[s].Peak, d[s])
+		}
+	}
+}
+
+func TestOOMDetected(t *testing.T) {
+	topo := hw.DGX1()
+	topo.GPU.Memory = pipeline.RuntimeReserve + 20*units.MiB
+	b := buildTiny(t, pipeline.DAPPLE, 4)
+	r, err := Run(Options{Topo: topo, Built: b, Mapping: IdentityMapping(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OOM == nil {
+		t.Fatal("expected OOM on a 20MiB GPU")
+	}
+	if r.TFLOPS != 0 {
+		t.Error("OOM result must not report throughput")
+	}
+}
+
+func TestUnboundedMeasuresDemand(t *testing.T) {
+	topo := hw.DGX1()
+	topo.GPU.Memory = pipeline.RuntimeReserve + 20*units.MiB
+	b := buildTiny(t, pipeline.DAPPLE, 4)
+	r, err := Run(Options{Topo: topo, Built: b, Mapping: IdentityMapping(4), Unbounded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OOM != nil {
+		t.Fatalf("unbounded run must not OOM: %v", r.OOM)
+	}
+	if r.GPUs[0].Peak <= topo.GPU.Memory {
+		t.Errorf("peak %v should exceed the tiny capacity", r.GPUs[0].Peak)
+	}
+}
+
+// instrument applies recomputation to every stage-0 block activation
+// of every microbatch.
+func instrumentRecompute(t *testing.T, b *pipeline.Built) {
+	t.Helper()
+	for m := 0; m < b.TotalMicrobatches; m++ {
+		k := pipeline.SlotKey{Stage: 0, Microbatch: m}
+		for _, id := range b.Acts[k] {
+			fl, ok := b.RecomputeFLOPs[id]
+			if !ok {
+				continue
+			}
+			b.Graph.InstrumentRecompute(id, b.FwOps[k], b.BwOps[k], b.PrevOnStage[b.BwOps[k]], fl)
+		}
+	}
+	if err := b.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecomputeSavesMemoryCostsTime(t *testing.T) {
+	plain := buildTiny(t, pipeline.DAPPLE, 4)
+	rp, err := Run(Options{Topo: hw.DGX1(), Built: plain, Mapping: IdentityMapping(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := buildTiny(t, pipeline.DAPPLE, 4)
+	instrumentRecompute(t, rec)
+	rr, err := Run(Options{Topo: hw.DGX1(), Built: rec, Mapping: IdentityMapping(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.OOM != nil {
+		t.Fatal(rr.OOM)
+	}
+	if rr.GPUs[0].Peak >= rp.GPUs[0].Peak {
+		t.Errorf("recompute peak %v must beat plain %v", rr.GPUs[0].Peak, rp.GPUs[0].Peak)
+	}
+	if rr.Duration < rp.Duration {
+		t.Errorf("recompute duration %v must not beat plain %v", rr.Duration, rp.Duration)
+	}
+	// Useful FLOPs (the TFLOPS numerator) must not count recompute.
+	if rr.UsefulFLOPs != rp.UsefulFLOPs {
+		t.Error("recompute inflated useful FLOPs")
+	}
+}
+
+// instrumentSwap routes every stage-0 block activation through a swap.
+func instrumentSwap(t *testing.T, b *pipeline.Built, routes map[graph.OpID][]fabric.Part, d2d bool) {
+	t.Helper()
+	for m := 0; m < b.TotalMicrobatches; m++ {
+		k := pipeline.SlotKey{Stage: 0, Microbatch: m}
+		for _, id := range b.Acts[k] {
+			if _, ok := b.RecomputeFLOPs[id]; !ok {
+				continue
+			}
+			route := "h2d"
+			if d2d {
+				route = "d2d"
+			}
+			pair := b.Graph.InstrumentSwap(id, b.FwOps[k], b.BwOps[k], b.PrevOnStage[b.BwOps[k]], route)
+			if d2d {
+				size := b.Graph.Tensors.Get(id).Size
+				parts := []fabric.Part{
+					{Peer: 3, Bytes: size / 2},
+					{Peer: 2, Bytes: size - size/2},
+				}
+				routes[pair.Out] = parts
+				routes[pair.In] = parts
+			}
+		}
+	}
+	if err := b.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostSwapSavesMemory(t *testing.T) {
+	plain := buildTiny(t, pipeline.DAPPLE, 4)
+	rp, _ := Run(Options{Topo: hw.DGX1(), Built: plain, Mapping: IdentityMapping(4)})
+
+	sw := buildTiny(t, pipeline.DAPPLE, 4)
+	routes := map[graph.OpID][]fabric.Part{}
+	instrumentSwap(t, sw, routes, false)
+	rs, err := Run(Options{Topo: hw.DGX1(), Built: sw, Mapping: IdentityMapping(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.OOM != nil {
+		t.Fatal(rs.OOM)
+	}
+	// On this tiny model the PCIe drain is slower than the fill rate,
+	// so the warmup spike still bounds the peak (the paper's "tension
+	// between the huge amount of tensors that demand swapping and the
+	// limited PCI-e bandwidth"); transient prefetch may even nudge it
+	// up slightly. The durable saving shows in the host residency.
+	if float64(rs.GPUs[0].Peak) > float64(rp.GPUs[0].Peak)*1.05 {
+		t.Errorf("swap peak %v far exceeds plain %v", rs.GPUs[0].Peak, rp.GPUs[0].Peak)
+	}
+	if rs.Host.Peak == 0 {
+		t.Error("host swap must use host memory")
+	}
+	if rs.Duration <= rp.Duration {
+		t.Errorf("PCIe swap should slow the tiny job: %v vs %v", rs.Duration, rp.Duration)
+	}
+}
+
+func TestD2DSwapFasterThanHostSwap(t *testing.T) {
+	host := buildTiny(t, pipeline.DAPPLE, 4)
+	hostRoutes := map[graph.OpID][]fabric.Part{}
+	instrumentSwap(t, host, hostRoutes, false)
+	rh, err := Run(Options{Topo: hw.DGX1(), Built: host, Mapping: IdentityMapping(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d2d := buildTiny(t, pipeline.DAPPLE, 4)
+	d2dRoutes := map[graph.OpID][]fabric.Part{}
+	instrumentSwap(t, d2d, d2dRoutes, true)
+	rd, err := Run(Options{Topo: hw.DGX1(), Built: d2d, Mapping: IdentityMapping(4), D2DRoutes: d2dRoutes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.OOM != nil {
+		t.Fatal(rd.OOM)
+	}
+	if rd.Duration >= rh.Duration {
+		t.Errorf("D2D swap %v must beat GPU-CPU swap %v", rd.Duration, rh.Duration)
+	}
+	// The peers that imported stripes must have seen extra peak usage.
+	var persistent3 units.Bytes
+	for _, id := range d2d.Persistent[3] {
+		persistent3 += d2d.Graph.Tensors.Get(id).Size
+	}
+	if rd.GPUs[3].Peak <= persistent3+pipeline.RuntimeReserve {
+		t.Error("peer gpu3 shows no imported stripes")
+	}
+}
+
+func TestInitiallySwappedPersistent(t *testing.T) {
+	b := buildTiny(t, pipeline.DAPPLE, 4)
+	// Start all stage-0 optimizer states on the host and never touch
+	// them (no optimizer use instrumentation here; we only check
+	// placement accounting).
+	swapped := map[tensor.ID]bool{}
+	var optBytes units.Bytes
+	for _, id := range b.Persistent[0] {
+		tn := b.Graph.Tensors.Get(id)
+		if tn.Class == tensor.OptimizerState {
+			swapped[id] = true
+			optBytes += tn.Size
+		}
+	}
+	r, err := Run(Options{Topo: hw.DGX1(), Built: b, Mapping: IdentityMapping(4), InitiallySwapped: swapped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := Run(Options{Topo: hw.DGX1(), Built: buildTiny(t, pipeline.DAPPLE, 4), Mapping: IdentityMapping(4)})
+	if got, want := plain.GPUs[0].Peak-r.GPUs[0].Peak, optBytes; got != want {
+		t.Errorf("initially-swapped saves %v on gpu0, want %v", got, want)
+	}
+	if r.Host.Peak < optBytes {
+		t.Errorf("host must hold the swapped state: %v < %v", r.Host.Peak, optBytes)
+	}
+}
+
+func TestNonIdentityMapping(t *testing.T) {
+	b := buildTiny(t, pipeline.DAPPLE, 4)
+	r, err := Run(Options{Topo: hw.DGX1(), Built: b, Mapping: []hw.DeviceID{3, 2, 1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OOM != nil {
+		t.Fatal(r.OOM)
+	}
+	// Stage 0's memory pressure must follow the mapping to gpu3.
+	if r.GPUs[3].Peak <= r.GPUs[0].Peak {
+		t.Errorf("reversed mapping: gpu3 peak %v should exceed gpu0 %v", r.GPUs[3].Peak, r.GPUs[0].Peak)
+	}
+}
+
+func TestIdentityMappingHelper(t *testing.T) {
+	m := IdentityMapping(3)
+	if len(m) != 3 || m[0] != 0 || m[2] != 2 {
+		t.Errorf("IdentityMapping = %v", m)
+	}
+}

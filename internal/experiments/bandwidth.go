@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mpress/internal/fabric"
+	"mpress/internal/hw"
+	"mpress/internal/units"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "fig4",
+		Title: "Figure 4: unidirectional aggregate bandwidth vs data size (DGX-1)",
+		Run:   Figure4,
+	})
+}
+
+// Figure4 regenerates Fig. 4: the effective unidirectional bandwidth
+// from GPU0's perspective over PCIe and over 1/2/4/6 aggregated
+// NVLinks, across transfer sizes. The NV4 series scatters across the
+// two dual-lane neighbors; NV6 across all four neighbors with the
+// paper's weighted striping.
+func Figure4(w io.Writer) error {
+	topo := hw.DGX1()
+	sizes := []units.Bytes{
+		1 * units.MiB, 4 * units.MiB, 16 * units.MiB, 64 * units.MiB,
+		256 * units.MiB, 1 * units.GiB,
+	}
+	t := newTable("Size", "PCIe", "NV1", "NV2", "NV4", "NV6")
+	nv4 := func(size units.Bytes) []fabric.Part {
+		return []fabric.Part{{Peer: 3, Bytes: size / 2}, {Peer: 4, Bytes: size - size/2}}
+	}
+	nv6 := func(size units.Bytes) []fabric.Part {
+		return []fabric.Part{
+			{Peer: 1, Bytes: size / 6}, {Peer: 2, Bytes: size / 6},
+			{Peer: 3, Bytes: size / 3}, {Peer: 4, Bytes: size - size/6*2 - size/3},
+		}
+	}
+	for _, size := range sizes {
+		t.addf("%s|%.1f|%.1f|%.1f|%.1f|%.1f",
+			size.String(),
+			fabric.EffectiveHostBandwidth(topo, 0, size).GBpsf(),
+			fabric.EffectiveBandwidth(topo, 0, 1, size, 0).GBpsf(),
+			fabric.EffectiveBandwidth(topo, 0, 3, size, 0).GBpsf(),
+			fabric.EffectiveScatterBandwidth(topo, 0, nv4(size)).GBpsf(),
+			fabric.EffectiveScatterBandwidth(topo, 0, nv6(size)).GBpsf(),
+		)
+	}
+	t.write(w)
+	fmt.Fprintln(w, "\npaper: NV2->NV6 rises 45->146 GB/s at large sizes, 3.9-12.5x PCIe")
+	return nil
+}

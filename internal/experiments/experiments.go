@@ -1,0 +1,98 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Sec. II and IV) on the simulated testbeds: the
+// same rows and series, printed as text tables. EXPERIMENTS.md records
+// the paper-vs-measured comparison for each one.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Experiment is one runnable paper artifact.
+type Experiment struct {
+	// Name is the CLI identifier, e.g. "table1", "fig7".
+	Name string
+	// Title describes what the paper shows.
+	Title string
+	// Run writes the regenerated rows to w.
+	Run func(w io.Writer) error
+}
+
+// registry holds all experiments in presentation order.
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the experiments in presentation order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Names lists the registered experiment names.
+func Names() []string {
+	var names []string
+	for _, e := range registry {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// table is a minimal fixed-width text table writer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addf(format string, args ...interface{}) {
+	t.add(strings.Split(fmt.Sprintf(format, args...), "|")...)
+}
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mpress"
+	"mpress/internal/exec"
+	"mpress/internal/graph"
+	"mpress/internal/hw"
+	"mpress/internal/model"
+	"mpress/internal/pipeline"
+	"mpress/internal/plan"
+	"mpress/internal/units"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "fig7",
+		Title: "Figure 7: Bert training performance atop PipeDream (DGX-1, mb=12)",
+		Run:   Figure7,
+	})
+	register(Experiment{
+		Name:  "fig8a",
+		Title: "Figure 8a: GPT training performance atop DAPPLE (DGX-1, mb=2)",
+		Run:   func(w io.Writer) error { return Figure8(w, false) },
+	})
+	register(Experiment{
+		Name:  "fig8b",
+		Title: "Figure 8b: GPT training performance atop DAPPLE (DGX-2, mb=2)",
+		Run:   func(w io.Writer) error { return Figure8(w, true) },
+	})
+	register(Experiment{
+		Name:  "fig9",
+		Title: "Figure 9: device mapping and data striping ablation (Bert-1.67B)",
+		Run:   Figure9,
+	})
+}
+
+// cell renders a training outcome as the figure's bar (TFLOPS) or the
+// red cross (OOM).
+func cell(rep *mpress.Report, err error) string {
+	if err != nil {
+		return "ERR"
+	}
+	if rep.Failed() {
+		return "OOM"
+	}
+	return fmt.Sprintf("%.1f", rep.TFLOPS)
+}
+
+// Figure7 regenerates Fig. 7: TFLOPS of the five systems across the
+// Bert variants, atop PipeDream on the DGX-1.
+func Figure7(w io.Writer) error {
+	systems := []mpress.System{
+		mpress.SystemPlain, mpress.SystemGPUCPUSwap, mpress.SystemRecompute,
+		mpress.SystemMPressD2D, mpress.SystemMPress,
+	}
+	header := []string{"Bert size"}
+	for _, s := range systems {
+		header = append(header, s.String())
+	}
+	t := newTable(header...)
+	for _, size := range []string{"0.35B", "0.64B", "1.67B", "4.0B", "6.2B"} {
+		row := []string{size}
+		for _, sys := range systems {
+			rep, err := mpress.Train(mpress.Config{
+				Topology:       mpress.DGX1(),
+				Model:          mpress.MustBert(size),
+				Schedule:       mpress.PipeDream,
+				System:         sys,
+				MicrobatchSize: 12,
+			})
+			row = append(row, cell(rep, err))
+		}
+		t.add(row...)
+	}
+	t.write(w)
+	fmt.Fprintln(w, "\npaper: swap<recomp<MPress; recomp dies at 4B; D2D-only dies at 1.67B;")
+	fmt.Fprintln(w, "       only swap and MPress survive 4B/6.2B (TFLOPS, aggregate)")
+	return nil
+}
+
+// Figure8 regenerates Fig. 8a/8b: GPT throughput across DAPPLE,
+// DAPPLE+Recomputation, the two ZeRO baselines and MPress. The ZeRO
+// baselines on the DGX-1 run on the paper's NVMe-equipped sibling
+// server (Sec. IV-C).
+func Figure8(w io.Writer, dgx2 bool) error {
+	var topo, zeroTopo *mpress.Topology
+	sizes := []string{"5.3B", "10.3B", "15.4B", "20.4B"}
+	if dgx2 {
+		topo, zeroTopo = mpress.DGX2(), mpress.DGX2()
+		sizes = append(sizes, "25.5B")
+	} else {
+		topo, zeroTopo = mpress.DGX1(), mpress.DGX1WithNVMe()
+	}
+	systems := []mpress.System{
+		mpress.SystemPlain, mpress.SystemRecompute,
+		mpress.SystemZeROOffload, mpress.SystemZeROInfinity, mpress.SystemMPress,
+	}
+	header := []string{"GPT size", "DAPPLE", "DAPPLE+Recomp", "ZeRO-Offload", "ZeRO-Infinity", "MPress"}
+	t := newTable(header...)
+	for _, size := range sizes {
+		row := []string{size}
+		for _, sys := range systems {
+			tp := topo
+			if sys == mpress.SystemZeROOffload || sys == mpress.SystemZeROInfinity {
+				tp = zeroTopo
+			}
+			rep, err := mpress.Train(mpress.Config{
+				Topology:       tp,
+				Model:          mpress.MustGPT(size),
+				Schedule:       mpress.DAPPLE,
+				System:         sys,
+				MicrobatchSize: 2,
+			})
+			row = append(row, cell(rep, err))
+		}
+		t.add(row...)
+	}
+	t.write(w)
+	if dgx2 {
+		fmt.Fprintln(w, "\npaper: all >2x DGX-1; slow SSDs put ZeRO-Infinity below ZeRO-Offload;")
+		fmt.Fprintln(w, "       MPress above both (they lose 23-70% / 30-45% to it)")
+	} else {
+		fmt.Fprintln(w, "\npaper: MPress sustains throughput at every size, 37-41% above")
+		fmt.Fprintln(w, "       ZeRO-Infinity, which beats ZeRO-Offload by 21-24%")
+	}
+	return nil
+}
+
+// Figure9 regenerates Fig. 9: MPress as device mapping and data
+// striping are enabled, relative to the default setting (identity
+// mapping, single-peer unstriped D2D), on both topologies.
+//
+// Substitution notes: (1) the paper ablates on GPT-15.4B, but in our
+// calibration that job leaves no spare memory for D2D on any stage,
+// so Bert-1.67B at microbatch 12 — the job where our planner routes
+// the most D2D traffic (28% of savings, mirroring the paper's 23.4%)
+// — carries the ablation instead; (2) our simulated compute slots are
+// long enough to hide even unstriped D2D transfers end to end, so in
+// addition to normalized throughput the table reports the mean D2D
+// restore latency, where the two optimizations' bandwidth effect is
+// directly visible.
+func Figure9(w io.Writer) error {
+	t := newTable("Topology", "Setting", "Norm. TFLOPS", "Mean D2D restore")
+	for _, tc := range []struct {
+		name string
+		topo func() *hw.Topology
+	}{
+		{"DGX-1 (asymmetric)", hw.DGX1},
+		{"DGX-2 (symmetric)", hw.DGX2},
+	} {
+		type outcome struct {
+			tflops  float64
+			restore units.Duration
+		}
+		run := func(disableMap, disableStripe bool) (outcome, error) {
+			topo := tc.topo()
+			cfg, err := model.BertVariant("1.67B")
+			if err != nil {
+				return outcome{}, err
+			}
+			prec := model.FP32Adam()
+			part, err := pipeline.PartitionModel(cfg, 8, pipeline.ComputeBalanced,
+				pipeline.PipeDream, prec, 12, 32)
+			if err != nil {
+				return outcome{}, err
+			}
+			build := func() (*pipeline.Built, error) {
+				return pipeline.Build(pipeline.BuildConfig{
+					Model: cfg, Prec: prec, Part: part, Kind: pipeline.PipeDream,
+					MicrobatchSize: 12, Microbatches: 32, Minibatches: 2,
+				})
+			}
+			pl, err := plan.Compute(plan.Options{
+				Topo: topo, Build: build, Allowed: plan.AllMechanisms(),
+				DisableMappingSearch: disableMap, DisableStriping: disableStripe,
+			})
+			if err != nil {
+				return outcome{}, err
+			}
+			b, err := build()
+			if err != nil {
+				return outcome{}, err
+			}
+			opts, err := plan.Apply(pl, b, topo)
+			if err != nil {
+				return outcome{}, err
+			}
+			res, err := exec.Run(*opts)
+			if err != nil {
+				return outcome{}, err
+			}
+			if res.OOM != nil {
+				return outcome{}, nil
+			}
+			var total units.Duration
+			var n int
+			for i, op := range b.Graph.Ops() {
+				if op.Kind == graph.SwapIn && strings.HasPrefix(op.Name, "d2d") {
+					sp := res.Spans[i]
+					total += units.Duration(sp.End - sp.Start)
+					n++
+				}
+			}
+			out := outcome{tflops: res.TFLOPS}
+			if n > 0 {
+				out.restore = total / units.Duration(n)
+			}
+			return out, nil
+		}
+		base, err := run(true, true)
+		if err != nil {
+			return err
+		}
+		settings := []struct {
+			name                      string
+			disableMap, disableStripe bool
+		}{
+			{"default", true, true},
+			{"+device mapping", false, true},
+			{"+data striping", true, false},
+			{"both", false, false},
+		}
+		for _, s := range settings {
+			o, err := run(s.disableMap, s.disableStripe)
+			if err != nil {
+				return err
+			}
+			norm := "n/a"
+			if base.tflops > 0 && o.tflops > 0 {
+				norm = fmt.Sprintf("%.3f", o.tflops/base.tflops)
+			}
+			restore := "n/a"
+			if o.restore > 0 {
+				restore = o.restore.String()
+			}
+			t.add(tc.name, s.name, norm, restore)
+		}
+	}
+	t.write(w)
+	fmt.Fprintln(w, "\npaper: DGX-1 +17.4% mapping, +33.3% striping; DGX-2 mapping neutral,")
+	fmt.Fprintln(w, "       +11% striping (throughput; our effect lands on restore latency)")
+	return nil
+}

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"testing"
+
+	"mpress/internal/tensor"
+)
+
+// FuzzTopoOrder feeds arbitrary edge lists (as byte pairs) into the
+// graph: the sorter must either produce a valid order respecting every
+// edge or report a CycleError — never panic, never mis-order.
+func FuzzTopoOrder(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 3})
+	f.Add([]byte{0, 1, 1, 0}) // cycle
+	f.Add([]byte{})
+	f.Add([]byte{5, 5}) // self edge
+	f.Fuzz(func(t *testing.T, edges []byte) {
+		const n = 16
+		g := New(nil)
+		for i := 0; i < n; i++ {
+			g.AddOp(Op{Name: "op"})
+		}
+		var added []fuzzEdge
+		for i := 0; i+1 < len(edges); i += 2 {
+			from := OpID(edges[i] % n)
+			to := OpID(edges[i+1] % n)
+			if from == to {
+				continue // self-deps are a Validate error, not a sort input
+			}
+			g.AddDep(to, from)
+			added = append(added, fuzzEdge{from, to})
+		}
+		order, err := g.TopoOrder()
+		if err != nil {
+			// Must be a genuine cycle: verify by DFS.
+			if !hasCycle(n, added) {
+				t.Fatalf("CycleError on an acyclic graph: %v", added)
+			}
+			return
+		}
+		if hasCycle(n, added) {
+			t.Fatalf("sorted a cyclic graph: %v", added)
+		}
+		pos := make(map[OpID]int, n)
+		for i, id := range order {
+			pos[id] = i
+		}
+		if len(order) != n {
+			t.Fatalf("order covers %d of %d ops", len(order), n)
+		}
+		for _, e := range added {
+			if pos[e.from] >= pos[e.to] {
+				t.Fatalf("edge %d->%d violated", e.from, e.to)
+			}
+		}
+	})
+}
+
+type fuzzEdge struct{ from, to OpID }
+
+func hasCycle(n int, edges []fuzzEdge) bool {
+	adj := make([][]OpID, n)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	state := make([]int, n) // 0 unvisited, 1 in-stack, 2 done
+	var dfs func(OpID) bool
+	dfs = func(v OpID) bool {
+		state[v] = 1
+		for _, w := range adj[v] {
+			if state[w] == 1 {
+				return true
+			}
+			if state[w] == 0 && dfs(w) {
+				return true
+			}
+		}
+		state[v] = 2
+		return false
+	}
+	for v := 0; v < n; v++ {
+		if state[v] == 0 && dfs(OpID(v)) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzLiveness: for arbitrary produce/consume wiring, Analyze must
+// stay in bounds and LastUse must point at a real consumer.
+func FuzzLiveness(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2})
+	f.Add([]byte{3, 3, 3, 3})
+	f.Fuzz(func(t *testing.T, wiring []byte) {
+		g := New(nil)
+		const nOps = 8
+		const nTensors = 6
+		ids := make([]tensor.ID, nTensors)
+		for i := range ids {
+			ids[i] = g.Tensors.Add(tensor.Tensor{Name: "t", Size: 1})
+		}
+		produced := make(map[tensor.ID]bool)
+		for i := 0; i < nOps; i++ {
+			op := Op{Name: "op"}
+			if i > 0 {
+				op.Deps = []OpID{OpID(i - 1)} // a chain keeps it acyclic
+			}
+			if len(wiring) > 0 {
+				tid := ids[int(wiring[i%len(wiring)])%nTensors]
+				if !produced[tid] {
+					op.Outputs = []tensor.ID{tid}
+					produced[tid] = true
+				} else {
+					op.Inputs = []tensor.ID{tid}
+				}
+			}
+			g.AddOp(op)
+		}
+		order, err := g.TopoOrder()
+		if err != nil {
+			t.Fatalf("chain graph failed to sort: %v", err)
+		}
+		l := g.Analyze(order)
+		for i := range ids {
+			last := l.LastUse(ids[i])
+			if last < -1 || last >= nOps {
+				t.Fatalf("LastUse out of range: %d", last)
+			}
+			for _, u := range l.Uses[ids[i]] {
+				if u.Index < 0 || u.Index >= nOps {
+					t.Fatalf("use index out of range: %d", u.Index)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,352 @@
+// Package graph implements the dataflow computation graph the MPress
+// static pipeline operates on: typed operators connected by explicit
+// dependency edges and by tensor produce/consume relations.
+//
+// The planner's rewriter (paper Fig. 5, step 4) instruments this graph
+// with memory-saving operators (swap-out, swap-in, drop, recompute)
+// placed so that operator dependencies are respected; the executor then
+// walks the instrumented graph.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"mpress/internal/tensor"
+	"mpress/internal/units"
+)
+
+// OpKind identifies what an operator does.
+type OpKind int
+
+const (
+	// Forward is a forward-pass compute operator.
+	Forward OpKind = iota
+	// Backward is a backward-pass compute operator.
+	Backward
+	// OptimizerStep applies gradients to parameters.
+	OptimizerStep
+	// Transfer moves a tensor between pipeline stages (activations
+	// forward, gradients backward).
+	Transfer
+	// SwapOut evicts a tensor from GPU memory (to a peer GPU for D2D
+	// swap or to host memory for GPU-CPU swap).
+	SwapOut
+	// SwapIn restores a previously swapped-out tensor.
+	SwapIn
+	// Drop releases an activation that will later be recomputed.
+	Drop
+	// Recompute re-runs a forward operator to regenerate a dropped
+	// activation.
+	Recompute
+	// AllGather and ReduceScatter are the ZeRO-style collectives used
+	// by the data-parallel baselines.
+	AllGather
+	ReduceScatter
+)
+
+var opKindNames = [...]string{
+	Forward:       "forward",
+	Backward:      "backward",
+	OptimizerStep: "optstep",
+	Transfer:      "transfer",
+	SwapOut:       "swapout",
+	SwapIn:        "swapin",
+	Drop:          "drop",
+	Recompute:     "recompute",
+	AllGather:     "allgather",
+	ReduceScatter: "reducescatter",
+}
+
+// String returns the lowercase kind name.
+func (k OpKind) String() string {
+	if k < 0 || int(k) >= len(opKindNames) {
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+	return opKindNames[k]
+}
+
+// Compute reports whether the operator occupies a GPU compute stream
+// (as opposed to a communication link or a pure bookkeeping action).
+func (k OpKind) Compute() bool {
+	switch k {
+	case Forward, Backward, OptimizerStep, Recompute:
+		return true
+	}
+	return false
+}
+
+// OpID identifies an operator within one Graph.
+type OpID int
+
+// Op is a node of the computation graph.
+type Op struct {
+	ID    OpID
+	Name  string
+	Kind  OpKind
+	Stage int // pipeline stage executing the op
+	Layer int // model layer index, -1 if not applicable
+	// Microbatch the op belongs to, -1 for per-iteration ops
+	// (optimizer step, persistent-state swaps).
+	Microbatch int
+	// FLOPs of compute work, zero for non-compute ops.
+	FLOPs units.FLOPs
+	// MoveBytes for transfer/swap ops: the amount of data moved.
+	MoveBytes units.Bytes
+	// Inputs and Outputs are tensors the op consumes and produces.
+	Inputs  []tensor.ID
+	Outputs []tensor.ID
+	// Subject is the tensor a memory-saving op (SwapOut, SwapIn,
+	// Drop, Recompute) acts on. It is only meaningful for those four
+	// kinds, which are always created via the Instrument helpers.
+	Subject tensor.ID
+	// Deps are explicit control dependencies in addition to dataflow.
+	Deps []OpID
+}
+
+// Graph holds the operators and the tensor registry they refer to.
+type Graph struct {
+	Tensors *tensor.Registry
+	ops     []Op
+	// frozen caches the topological order once computed; any mutation
+	// invalidates it.
+	topoCache []OpID
+}
+
+// New returns an empty graph backed by the given tensor registry. A nil
+// registry is replaced by a fresh one.
+func New(reg *tensor.Registry) *Graph {
+	if reg == nil {
+		reg = tensor.NewRegistry()
+	}
+	return &Graph{Tensors: reg}
+}
+
+// AddOp appends op (ignoring op.ID) and returns the assigned ID.
+func (g *Graph) AddOp(op Op) OpID {
+	op.ID = OpID(len(g.ops))
+	g.ops = append(g.ops, op)
+	g.topoCache = nil
+	return op.ID
+}
+
+// Op returns the operator with the given id.
+func (g *Graph) Op(id OpID) *Op { return &g.ops[id] }
+
+// Len returns the number of operators.
+func (g *Graph) Len() int { return len(g.ops) }
+
+// Ops returns all operators in ID order. The slice aliases internal
+// storage; callers must not append to it.
+func (g *Graph) Ops() []Op { return g.ops }
+
+// AddDep records that op `after` must run after op `before`.
+func (g *Graph) AddDep(after, before OpID) {
+	op := &g.ops[after]
+	for _, d := range op.Deps {
+		if d == before {
+			return
+		}
+	}
+	op.Deps = append(op.Deps, before)
+	g.topoCache = nil
+}
+
+// producers maps each tensor to the op that outputs it (-1 if none).
+func (g *Graph) producers() []OpID {
+	prod := make([]OpID, g.Tensors.Len())
+	for i := range prod {
+		prod[i] = -1
+	}
+	for i := range g.ops {
+		for _, out := range g.ops[i].Outputs {
+			prod[out] = g.ops[i].ID
+		}
+	}
+	return prod
+}
+
+// Preds returns, for every op, its full predecessor list: explicit
+// Deps plus dataflow (input tensors' producers), deduplicated and
+// sorted. The executor uses this to count unfinished dependencies.
+func (g *Graph) Preds() [][]OpID { return g.edges() }
+
+// edges builds the full predecessor lists: explicit Deps plus dataflow
+// (input tensors' producers).
+func (g *Graph) edges() [][]OpID {
+	prod := g.producers()
+	preds := make([][]OpID, len(g.ops))
+	for i := range g.ops {
+		op := &g.ops[i]
+		seen := make(map[OpID]bool, len(op.Deps)+len(op.Inputs))
+		add := func(p OpID) {
+			if p >= 0 && p != op.ID && !seen[p] {
+				seen[p] = true
+				preds[i] = append(preds[i], p)
+			}
+		}
+		for _, d := range op.Deps {
+			add(d)
+		}
+		for _, in := range op.Inputs {
+			add(prod[in])
+		}
+		sort.Slice(preds[i], func(a, b int) bool { return preds[i][a] < preds[i][b] })
+	}
+	return preds
+}
+
+// CycleError reports a dependency cycle found during topological sorting.
+type CycleError struct {
+	// Remaining holds the op IDs that could not be ordered.
+	Remaining []OpID
+}
+
+func (e *CycleError) Error() string {
+	return fmt.Sprintf("graph: dependency cycle among %d operators (first: %v)", len(e.Remaining), e.Remaining[0])
+}
+
+// TopoOrder returns a deterministic topological ordering of the ops
+// (Kahn's algorithm, ties broken by op ID) or a *CycleError.
+func (g *Graph) TopoOrder() ([]OpID, error) {
+	if g.topoCache != nil {
+		return g.topoCache, nil
+	}
+	preds := g.edges()
+	indeg := make([]int, len(g.ops))
+	succs := make([][]OpID, len(g.ops))
+	for i, ps := range preds {
+		indeg[i] = len(ps)
+		for _, p := range ps {
+			succs[p] = append(succs[p], OpID(i))
+		}
+	}
+	// Min-heap on op ID implemented as a sorted frontier; counts here
+	// are small enough that an O(n log n) insertion approach is fine
+	// and keeps the order fully deterministic.
+	var frontier []OpID
+	push := func(id OpID) {
+		i := sort.Search(len(frontier), func(j int) bool { return frontier[j] > id })
+		frontier = append(frontier, 0)
+		copy(frontier[i+1:], frontier[i:])
+		frontier[i] = id
+	}
+	for i := range g.ops {
+		if indeg[i] == 0 {
+			frontier = append(frontier, OpID(i))
+		}
+	}
+	order := make([]OpID, 0, len(g.ops))
+	for len(frontier) > 0 {
+		id := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, id)
+		for _, s := range succs[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				push(s)
+			}
+		}
+	}
+	if len(order) != len(g.ops) {
+		var remaining []OpID
+		for i, d := range indeg {
+			if d > 0 {
+				remaining = append(remaining, OpID(i))
+			}
+		}
+		return nil, &CycleError{Remaining: remaining}
+	}
+	g.topoCache = order
+	return order, nil
+}
+
+// Validate checks structural invariants: tensor references in range,
+// no self-dependencies, acyclicity, and single-producer tensors.
+func (g *Graph) Validate() error {
+	seenProducer := make(map[tensor.ID]OpID)
+	for i := range g.ops {
+		op := &g.ops[i]
+		for _, d := range op.Deps {
+			if d == op.ID {
+				return fmt.Errorf("graph: op %d (%s) depends on itself", op.ID, op.Name)
+			}
+			if d < 0 || int(d) >= len(g.ops) {
+				return fmt.Errorf("graph: op %d (%s) has out-of-range dep %d", op.ID, op.Name, d)
+			}
+		}
+		for _, tid := range append(append([]tensor.ID{}, op.Inputs...), op.Outputs...) {
+			if tid < 0 || int(tid) >= g.Tensors.Len() {
+				return fmt.Errorf("graph: op %d (%s) references unknown tensor %d", op.ID, op.Name, tid)
+			}
+		}
+		for _, out := range op.Outputs {
+			if p, dup := seenProducer[out]; dup && g.ops[p].Kind != Recompute && op.Kind != Recompute && op.Kind != SwapIn {
+				return fmt.Errorf("graph: tensor %d produced by both op %d and op %d", out, p, op.ID)
+			}
+			seenProducer[out] = op.ID
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Use marks where in a schedule a tensor is touched.
+type Use struct {
+	Op    OpID
+	Index int // position of Op in the topological order
+}
+
+// Liveness is the result of live-variable analysis over a topological
+// order: for each tensor, where it is defined and each place it is used.
+type Liveness struct {
+	// Def[t] is the order index of the op producing tensor t, or -1
+	// for tensors alive at graph entry (parameters, optimizer state).
+	Def []int
+	// Uses[t] lists consuming ops of tensor t in execution order.
+	Uses [][]Use
+}
+
+// LastUse returns the order index of the final use of tensor t, or -1
+// if t is never consumed.
+func (l *Liveness) LastUse(t tensor.ID) int {
+	us := l.Uses[t]
+	if len(us) == 0 {
+		return -1
+	}
+	return us[len(us)-1].Index
+}
+
+// Analyze performs live-variable analysis (paper Sec. III-D performs
+// "a live variable analysis [23] to compute the per tensor live
+// intervals"). The returned indices refer to positions in order.
+func (g *Graph) Analyze(order []OpID) *Liveness {
+	l := &Liveness{
+		Def:  make([]int, g.Tensors.Len()),
+		Uses: make([][]Use, g.Tensors.Len()),
+	}
+	for i := range l.Def {
+		l.Def[i] = -1
+	}
+	pos := make([]int, len(g.ops))
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, id := range order {
+		op := &g.ops[id]
+		for _, out := range op.Outputs {
+			if l.Def[out] == -1 {
+				l.Def[out] = pos[id]
+			}
+		}
+		for _, in := range op.Inputs {
+			l.Uses[in] = append(l.Uses[in], Use{Op: id, Index: pos[id]})
+		}
+	}
+	for t := range l.Uses {
+		sort.Slice(l.Uses[t], func(a, b int) bool { return l.Uses[t][a].Index < l.Uses[t][b].Index })
+	}
+	return l
+}

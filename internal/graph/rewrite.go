@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"fmt"
+
+	"mpress/internal/tensor"
+	"mpress/internal/units"
+)
+
+// SwapPair identifies the two operators created by InstrumentSwap.
+type SwapPair struct {
+	Out OpID
+	In  OpID
+}
+
+// InstrumentSwap rewrites the graph to evict tensor t after op
+// `afterOp` finishes and restore it before op `beforeOp` starts.
+//
+// `gate` controls when the restore may begin: the swap-in runs only
+// after gate completes, so passing beforeOp's predecessor in the
+// device schedule makes the transfer overlap that predecessor — the
+// just-in-time prefetch the paper's executor implements with separate
+// swap streams (Sec. III-E). Pass gate < 0 to allow the swap-in to
+// start as soon as the swap-out finishes (eager restore).
+//
+// This is the rewriter primitive for both GPU-CPU swap and D2D swap;
+// the executor decides the route by whether the op appears in its
+// D2DRoutes table. route only labels the op names for reports.
+func (g *Graph) InstrumentSwap(t tensor.ID, afterOp, beforeOp, gate OpID, route string) SwapPair {
+	tn := g.Tensors.Get(t)
+	stage := g.ops[afterOp].Stage
+	out := g.AddOp(Op{
+		Name:       fmt.Sprintf("%s-swapout:%s", route, tn.Name),
+		Kind:       SwapOut,
+		Stage:      stage,
+		Layer:      tn.Layer,
+		Microbatch: g.ops[afterOp].Microbatch,
+		MoveBytes:  tn.Size,
+		Subject:    t,
+		Deps:       []OpID{afterOp},
+	})
+	deps := []OpID{out}
+	if gate >= 0 {
+		deps = append(deps, gate)
+	}
+	in := g.AddOp(Op{
+		Name:       fmt.Sprintf("%s-swapin:%s", route, tn.Name),
+		Kind:       SwapIn,
+		Stage:      stage,
+		Layer:      tn.Layer,
+		Microbatch: g.ops[beforeOp].Microbatch,
+		MoveBytes:  tn.Size,
+		Subject:    t,
+		Deps:       deps,
+	})
+	g.AddDep(beforeOp, in)
+	return SwapPair{Out: out, In: in}
+}
+
+// InstrumentSwapIn adds a standalone swap-in restoring tensor t before
+// op beforeOp, gated on gate (see InstrumentSwap). It is used for
+// persistent tensors that start the iteration parked in host memory
+// (exec's InitiallySwapped set).
+func (g *Graph) InstrumentSwapIn(t tensor.ID, beforeOp, gate OpID, route string) OpID {
+	tn := g.Tensors.Get(t)
+	var deps []OpID
+	if gate >= 0 {
+		deps = append(deps, gate)
+	}
+	in := g.AddOp(Op{
+		Name:       fmt.Sprintf("%s-swapin:%s", route, tn.Name),
+		Kind:       SwapIn,
+		Stage:      tn.Stage,
+		Layer:      tn.Layer,
+		Microbatch: g.ops[beforeOp].Microbatch,
+		MoveBytes:  tn.Size,
+		Subject:    t,
+		Deps:       deps,
+	})
+	g.AddDep(beforeOp, in)
+	return in
+}
+
+// InstrumentSwapOut adds a standalone swap-out evicting tensor t after
+// op afterOp with no matching swap-in (the tensor stays off-GPU until
+// the run ends or a later InstrumentSwapIn restores it).
+func (g *Graph) InstrumentSwapOut(t tensor.ID, afterOp OpID, route string) OpID {
+	tn := g.Tensors.Get(t)
+	return g.AddOp(Op{
+		Name:       fmt.Sprintf("%s-swapout:%s", route, tn.Name),
+		Kind:       SwapOut,
+		Stage:      tn.Stage,
+		Layer:      tn.Layer,
+		Microbatch: g.ops[afterOp].Microbatch,
+		MoveBytes:  tn.Size,
+		Subject:    t,
+		Deps:       []OpID{afterOp},
+	})
+}
+
+// RecomputePair identifies the two operators created by
+// InstrumentRecompute.
+type RecomputePair struct {
+	Drop      OpID
+	Recompute OpID
+}
+
+// InstrumentRecompute rewrites the graph to drop activation t after op
+// `afterOp` and re-run the producing forward computation (costing
+// flops) before op `beforeOp` consumes it (paper Sec. II-D).
+//
+// As with InstrumentSwap, `gate` delays the recomputation until the
+// consumer's predecessor completes so the tensor is not rematerialized
+// long before it is needed; pass gate < 0 for eager rematerialization.
+func (g *Graph) InstrumentRecompute(t tensor.ID, afterOp, beforeOp, gate OpID, flops units.FLOPs) RecomputePair {
+	tn := g.Tensors.Get(t)
+	if !tn.Class.Recomputable() {
+		panic(fmt.Sprintf("graph: cannot recompute %s tensor %q", tn.Class, tn.Name))
+	}
+	stage := g.ops[afterOp].Stage
+	drop := g.AddOp(Op{
+		Name:       "drop:" + tn.Name,
+		Kind:       Drop,
+		Stage:      stage,
+		Layer:      tn.Layer,
+		Microbatch: g.ops[afterOp].Microbatch,
+		MoveBytes:  tn.Size,
+		Subject:    t,
+		Deps:       []OpID{afterOp},
+	})
+	deps := []OpID{drop}
+	if gate >= 0 {
+		deps = append(deps, gate)
+	}
+	rec := g.AddOp(Op{
+		Name:       "recompute:" + tn.Name,
+		Kind:       Recompute,
+		Stage:      stage,
+		Layer:      tn.Layer,
+		Microbatch: g.ops[beforeOp].Microbatch,
+		FLOPs:      flops,
+		MoveBytes:  tn.Size,
+		Subject:    t,
+		Outputs:    []tensor.ID{t},
+		Deps:       deps,
+	})
+	g.AddDep(beforeOp, rec)
+	return RecomputePair{Drop: drop, Recompute: rec}
+}

@@ -1,0 +1,114 @@
+package hw
+
+import "mpress/internal/units"
+
+// dgx1LaneMatrix is the NVLink 2.0 hybrid cube mesh of the DGX-1V
+// (paper Fig. 3; matches `nvidia-smi topo -m` on p3dn.24xlarge).
+// Entry [i][j] is the number of lanes between GPU i and GPU j; each
+// V100 terminates exactly six lanes.
+var dgx1LaneMatrix = [][]int{
+	//         g0 g1 g2 g3 g4 g5 g6 g7
+	/* g0 */ {0, 1, 1, 2, 2, 0, 0, 0},
+	/* g1 */ {1, 0, 2, 1, 0, 2, 0, 0},
+	/* g2 */ {1, 2, 0, 2, 0, 0, 1, 0},
+	/* g3 */ {2, 1, 2, 0, 0, 0, 0, 1},
+	/* g4 */ {2, 0, 0, 0, 0, 1, 1, 2},
+	/* g5 */ {0, 2, 0, 0, 1, 0, 2, 1},
+	/* g6 */ {0, 0, 1, 0, 1, 2, 0, 2},
+	/* g7 */ {0, 0, 0, 1, 2, 1, 2, 0},
+}
+
+// DGX1 models the paper's first testbed: an AWS EC2 p3dn.24xlarge
+// (DGX-1V class) with 8×V100-32GB on an asymmetric NVLink 2.0 cube
+// mesh, 768 GB of host memory and no NVMe swap tier.
+//
+// The effective per-lane bandwidth (24.3 GB/s) and PCIe bandwidth
+// (11.7 GB/s) are calibrated to the paper's Fig. 4 measurement, where
+// aggregating 2→6 NVLinks yields 45→146 GB/s, i.e. 3.9–12.5× PCIe.
+func DGX1() *Topology {
+	lanes := make([][]int, len(dgx1LaneMatrix))
+	for i := range dgx1LaneMatrix {
+		lanes[i] = append([]int(nil), dgx1LaneMatrix[i]...)
+	}
+	return &Topology{
+		Name:          "DGX-1V",
+		GPU:           V100(),
+		NumGPUs:       8,
+		Switched:      false,
+		NVLinkLanes:   lanes,
+		LanesPerGPU:   6,
+		NVLinkLaneBW:  units.GBps(24.3),
+		NVLinkLatency: 10 * units.Microsecond,
+		PCIeBW:        units.GBps(11.7),
+		PCIeLatency:   20 * units.Microsecond,
+		HostMemory:    768 * units.GiB,
+	}
+}
+
+// DGX1WithNVMe is DGX1 plus a healthy NVMe tier. The paper could not
+// run ZeRO-Infinity on the EC2 instance (no SSDs, small host memory)
+// and used "a high-end GPU server with the identical GPU setup ...
+// and additional NVMe SSDs" for the Fig. 8a baselines; this topology
+// models that server.
+func DGX1WithNVMe() *Topology {
+	t := DGX1()
+	t.Name = "DGX-1V-nvme"
+	t.HostMemory = 948 * units.GiB
+	t.NVMeBW = units.GBps(25)
+	t.NVMeLatency = 80 * units.Microsecond
+	t.NVMeSize = 6 * units.TiB
+	return t
+}
+
+// DGX2 models the paper's second testbed: a DGX-2-generation server
+// with 8×A100-40GB behind a non-blocking NVSwitch (symmetric topology,
+// 12 NVLink 3.0 lanes per GPU), 948 GB host memory and 6 TB of NVMe.
+//
+// The rented server's SSDs were slow (Sec. IV-C observes ZeRO-Infinity
+// losing to ZeRO-Offload because of it); DGX2 uses that measured-slow
+// NVMe bandwidth. Use DGX2FastNVMe for a healthy-SSD variant.
+func DGX2() *Topology {
+	return &Topology{
+		Name:          "DGX-2A100",
+		GPU:           A100(),
+		NumGPUs:       8,
+		Switched:      true,
+		LanesPerGPU:   12,
+		NVLinkLaneBW:  units.GBps(24.3),
+		NVLinkLatency: 8 * units.Microsecond,
+		PCIeBW:        units.GBps(11.7),
+		PCIeLatency:   20 * units.Microsecond,
+		HostMemory:    948 * units.GiB,
+		NVMeBW:        units.GBps(6),
+		NVMeLatency:   80 * units.Microsecond,
+		NVMeSize:      6 * units.TiB,
+	}
+}
+
+// DGX2FastNVMe is DGX2 with SSD bandwidth matching a healthy DGX-2
+// RAID (≈25 GB/s read), used for sensitivity studies.
+func DGX2FastNVMe() *Topology {
+	t := DGX2()
+	t.Name = "DGX-2A100-fastnvme"
+	t.NVMeBW = units.GBps(25)
+	return t
+}
+
+// GraceHopper models an 8-module Grace-Hopper server for the Sec. V
+// projection: each GPU has 96 GB HBM plus a dedicated 512 GB CPU-side
+// memory reachable over NVLink-C2C at 64 GB/s (the paper argues this
+// is still not enough to hide swap, keeping D2D swap valuable).
+func GraceHopper() *Topology {
+	return &Topology{
+		Name:          "GraceHopper",
+		GPU:           H100Grace(),
+		NumGPUs:       8,
+		Switched:      true,
+		LanesPerGPU:   18,
+		NVLinkLaneBW:  units.GBps(25),
+		NVLinkLatency: 5 * units.Microsecond,
+		PCIeBW:        units.GBps(64), // NVLink-C2C stands in for PCIe
+		PCIeLatency:   5 * units.Microsecond,
+		HostMemory:    8 * 512 * units.GiB,
+	}
+}

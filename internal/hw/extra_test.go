@@ -1,0 +1,90 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+
+	"mpress/internal/units"
+)
+
+func TestLinkKindStrings(t *testing.T) {
+	want := map[LinkKind]string{
+		NVLinkLane: "nvlink", PCIeLink: "pcie", NVMeLink: "nvme", C2CLink: "c2c",
+		LinkKind(9): "LinkKind(9)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestDGX1WithNVMe(t *testing.T) {
+	d := DGX1WithNVMe()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NVMeBW <= 0 || d.NVMeSize == 0 {
+		t.Error("NVMe tier missing")
+	}
+	// Same NVLink wiring as the plain DGX-1.
+	base := DGX1()
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if d.LanesBetween(DeviceID(i), DeviceID(j)) != base.LanesBetween(DeviceID(i), DeviceID(j)) {
+				t.Fatalf("lane matrix diverged at (%d,%d)", i, j)
+			}
+		}
+	}
+	if d.HostMemory <= base.HostMemory {
+		t.Error("the sibling server has more host memory")
+	}
+}
+
+func TestValidateRejectsNonsense(t *testing.T) {
+	bad := DGX1()
+	bad.NumGPUs = 0
+	if bad.Validate() == nil {
+		t.Error("zero GPUs accepted")
+	}
+	bad = DGX1()
+	bad.GPU.Memory = 0
+	if bad.Validate() == nil {
+		t.Error("zero memory accepted")
+	}
+	bad = DGX1()
+	bad.PCIeBW = 0
+	if bad.Validate() == nil {
+		t.Error("zero PCIe accepted")
+	}
+	bad = DGX1()
+	bad.NVLinkLanes[0][1] = -1
+	bad.NVLinkLanes[1][0] = -1
+	if bad.Validate() == nil {
+		t.Error("negative lanes accepted")
+	}
+	bad = DGX1()
+	bad.NVLinkLanes[0] = bad.NVLinkLanes[0][:4]
+	if bad.Validate() == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestSwitchedLaneMatrixRendering(t *testing.T) {
+	s := DGX2().LaneMatrixString()
+	if !strings.Contains(s, "NV12") {
+		t.Errorf("switched matrix should show full budget:\n%s", s)
+	}
+}
+
+func TestHBMRates(t *testing.T) {
+	if V100().HBM >= A100().HBM {
+		t.Error("A100 HBM must out-run V100")
+	}
+	if H100Grace().HBM <= A100().HBM {
+		t.Error("GH200 HBM must out-run A100")
+	}
+	if V100().HBM < units.GBps(500) {
+		t.Error("V100 HBM unreasonably slow")
+	}
+}

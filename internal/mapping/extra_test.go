@@ -1,0 +1,79 @@
+package mapping
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpress/internal/hw"
+	"mpress/internal/units"
+)
+
+// TestEvaluatePartialPlacement: when overflow exceeds reachable spare,
+// evaluate places what it can and never more.
+func TestEvaluatePartialPlacement(t *testing.T) {
+	topo := hw.DGX1()
+	overflow := make([]units.Bytes, 8)
+	spareOf := make([]units.Bytes, 8)
+	overflow[0] = units.GB(100) // far beyond any spare
+	spareOf[3] = units.GB(5)
+	identity := make([]hw.DeviceID, 8)
+	for i := range identity {
+		identity[i] = hw.DeviceID(i)
+	}
+	placed, maxTime, score := evaluate(topo, identity, overflow, spareOf)
+	if placed != units.GB(5) {
+		t.Errorf("placed %v, want exactly the reachable spare", placed)
+	}
+	if maxTime <= 0 || score <= 0 {
+		t.Errorf("degenerate result: %v %v", maxTime, score)
+	}
+}
+
+// TestEvaluateNoSpareScoresZero: nothing reachable, nothing placed.
+func TestEvaluateNoSpareScoresZero(t *testing.T) {
+	topo := hw.DGX1()
+	overflow := make([]units.Bytes, 8)
+	overflow[0] = units.GB(10)
+	identity := make([]hw.DeviceID, 8)
+	for i := range identity {
+		identity[i] = hw.DeviceID(i)
+	}
+	placed, _, score := evaluate(topo, identity, overflow, make([]units.Bytes, 8))
+	if placed != 0 || score != 0 {
+		t.Errorf("placed %v score %v, want zero", placed, score)
+	}
+}
+
+// TestSearchScoreNeverNegativeProperty: any demand vector yields a
+// non-negative score and a complete mapping.
+func TestSearchScoreNeverNegativeProperty(t *testing.T) {
+	topo := hw.DGX1()
+	f := func(d0, d1, d2, d3, d4, d5, d6, d7 uint8) bool {
+		demands := []units.Bytes{
+			units.GB(float64(d0) / 4), units.GB(float64(d1) / 4),
+			units.GB(float64(d2) / 4), units.GB(float64(d3) / 4),
+			units.GB(float64(d4) / 4), units.GB(float64(d5) / 4),
+			units.GB(float64(d6) / 4), units.GB(float64(d7) / 4),
+		}
+		r := Search(topo, demands)
+		if r.Score < 0 || len(r.Mapping) != 8 {
+			return false
+		}
+		used := map[hw.DeviceID]bool{}
+		for _, g := range r.Mapping {
+			if used[g] {
+				return false
+			}
+			used[g] = true
+		}
+		for _, v := range r.Spare {
+			if v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,191 @@
+// Package mapping implements the device-mapping search of paper
+// Fig. 6: choose which GPU hosts which pipeline stage so that
+// overflowing (early) stages sit next to NVLink neighbors with spare
+// memory, maximizing the bandwidth available to D2D swaps.
+//
+// The search enumerates stage→GPU assignments, and for each one
+// distributes the importers' spare memory over the reachable
+// exporters, scoring the assignment by the ratio of revenue (bytes
+// offloadable over NVLink) to cost (the slowest exporter's one-way
+// transfer time). Symmetric (switched) topologies skip the search:
+// every mapping is equivalent there (Sec. III-C).
+package mapping
+
+import (
+	"time"
+
+	"mpress/internal/hw"
+	"mpress/internal/units"
+)
+
+// SpareMargin is headroom kept free on every importer so that imported
+// stripes never push a light-loaded GPU into OOM.
+const SpareMargin = units.Bytes(512) * units.MiB
+
+// Result describes the chosen mapping.
+type Result struct {
+	// Mapping[s] is the GPU hosting stage s.
+	Mapping []hw.DeviceID
+	// Spare[g] is the remaining import budget of each GPU under this
+	// mapping (after the margin), for the planner to consume.
+	Spare map[hw.DeviceID]units.Bytes
+	// Score is revenue/cost of the winning assignment (+Inf conceptually
+	// when there is no overflow; represented as Score == 0 with
+	// NoOverflow == true).
+	Score      float64
+	NoOverflow bool
+	// Placed is how many overflow bytes the winning assignment can
+	// host over NVLink; MaxTime the slowest exporter's one-way time.
+	Placed  units.Bytes
+	MaxTime units.Duration
+	// Searched counts assignments evaluated; Elapsed is wall time.
+	Searched int
+	Elapsed  time.Duration
+}
+
+// Search finds the best stage→GPU assignment for the given per-stage
+// memory demands (profiler output). demands[s] is stage s's peak; the
+// GPU capacity comes from topo.
+func Search(topo *hw.Topology, demands []units.Bytes) *Result {
+	start := time.Now()
+	n := topo.NumGPUs
+	S := len(demands)
+	if S > n {
+		panic("mapping: more stages than GPUs")
+	}
+	cap := topo.GPU.Memory
+
+	overflow := make([]units.Bytes, S)
+	spareOf := make([]units.Bytes, S)
+	anyOverflow := false
+	for s, d := range demands {
+		if d > cap {
+			overflow[s] = d - cap
+			anyOverflow = true
+		} else if free := cap - d; free > SpareMargin {
+			spareOf[s] = free - SpareMargin
+		}
+	}
+
+	identity := make([]hw.DeviceID, S)
+	for i := range identity {
+		identity[i] = hw.DeviceID(i)
+	}
+
+	if !anyOverflow || topo.Switched {
+		// Nothing to place, or every placement is equivalent: keep
+		// the identity mapping (the paper "randomly maps stages to
+		// devices" for symmetric fabrics).
+		r := &Result{Mapping: identity, NoOverflow: !anyOverflow, Searched: 1, Elapsed: time.Since(start)}
+		r.Spare = spareUnder(topo, identity, spareOf)
+		r.Placed, r.MaxTime, r.Score = evaluate(topo, identity, overflow, spareOf)
+		return r
+	}
+
+	best := &Result{Mapping: identity, Score: -1}
+	perm := make([]hw.DeviceID, S)
+	used := make([]bool, n)
+	var walk func(int)
+	var searched int
+	var bestPlaced units.Bytes
+	var bestTime units.Duration
+	walk = func(s int) {
+		if s == S {
+			searched++
+			placed, maxTime, score := evaluate(topo, perm, overflow, spareOf)
+			if score > best.Score {
+				best.Score = score
+				best.Mapping = append([]hw.DeviceID(nil), perm...)
+				bestPlaced, bestTime = placed, maxTime
+			}
+			return
+		}
+		for g := 0; g < n; g++ {
+			if used[g] {
+				continue
+			}
+			used[g] = true
+			perm[s] = hw.DeviceID(g)
+			walk(s + 1)
+			used[g] = false
+		}
+	}
+	walk(0)
+
+	best.Placed = bestPlaced
+	best.MaxTime = bestTime
+	best.Searched = searched
+	best.Elapsed = time.Since(start)
+	best.Spare = spareUnder(topo, best.Mapping, spareOf)
+	return best
+}
+
+// spareUnder converts per-stage spare into per-GPU budgets, counting
+// GPUs that host no stage as fully spare.
+func spareUnder(topo *hw.Topology, mapping []hw.DeviceID, spareOf []units.Bytes) map[hw.DeviceID]units.Bytes {
+	spare := make(map[hw.DeviceID]units.Bytes)
+	hosted := make(map[hw.DeviceID]bool)
+	for s, g := range mapping {
+		hosted[g] = true
+		if spareOf[s] > 0 {
+			spare[g] = spareOf[s]
+		}
+	}
+	for g := 0; g < topo.NumGPUs; g++ {
+		id := hw.DeviceID(g)
+		if !hosted[id] && topo.GPU.Memory > SpareMargin {
+			spare[id] = topo.GPU.Memory - SpareMargin
+		}
+	}
+	return spare
+}
+
+// evaluate scores one assignment: distribute reachable spare over the
+// exporters proportionally to pair bandwidth (partial placement
+// allowed) and compute revenue/cost.
+func evaluate(topo *hw.Topology, mapping []hw.DeviceID, overflow, spareOf []units.Bytes) (placed units.Bytes, maxTime units.Duration, score float64) {
+	spare := spareUnder(topo, mapping, spareOf)
+	laneBW := float64(topo.NVLinkLaneBW)
+
+	// Exporters in descending overflow order would need a sort; with
+	// ≤8 stages a fixed stage order is stable enough and keeps the
+	// hot path allocation-free.
+	for s, ov := range overflow {
+		if ov == 0 {
+			continue
+		}
+		g := mapping[s]
+		// Greedily fill from the fattest pairs.
+		remaining := ov
+		var slowest units.Duration
+		for lanes := topo.LanesPerGPU; lanes >= 1 && remaining > 0; lanes-- {
+			for _, nb := range topo.NVLinkNeighbors(g) {
+				if topo.LanesBetween(g, nb) != lanes || spare[nb] == 0 || remaining == 0 {
+					continue
+				}
+				take := spare[nb]
+				if take > remaining {
+					take = remaining
+				}
+				spare[nb] -= take
+				remaining -= take
+				placed += take
+				bw := units.Bandwidth(laneBW * float64(lanes))
+				if t := topo.NVLinkLatency + bw.TransferTime(take); t > slowest {
+					slowest = t
+				}
+			}
+		}
+		if slowest > maxTime {
+			maxTime = slowest
+		}
+	}
+	if placed == 0 {
+		return 0, 0, 0
+	}
+	if maxTime <= 0 {
+		maxTime = 1
+	}
+	// Revenue (GiB placed) per unit cost (seconds).
+	return placed, maxTime, placed.GiBf() / maxTime.Secondsf()
+}

@@ -1,0 +1,123 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpress/internal/tensor"
+)
+
+func fuzzConfig(layers, hidden, seq uint8) Config {
+	h := 64 * (1 + int(hidden)%32)
+	return Config{
+		Name: "Fuzz", Arch: GPT,
+		Layers: 1 + int(layers)%64,
+		Hidden: h,
+		Heads:  h / 64,
+		SeqLen: 32 * (1 + int(seq)%32),
+		Vocab:  1000,
+		DType:  tensor.FP16,
+	}
+}
+
+// TestParamsMonotonicInDepth: adding layers adds parameters.
+func TestParamsMonotonicInDepth(t *testing.T) {
+	f := func(layers, hidden, seq uint8) bool {
+		a := fuzzConfig(layers, hidden, seq)
+		b := a
+		b.Layers++
+		return b.TotalParams() > a.TotalParams()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParamsMonotonicInWidth: widening the hidden size adds parameters.
+func TestParamsMonotonicInWidth(t *testing.T) {
+	f := func(layers, hidden, seq uint8) bool {
+		a := fuzzConfig(layers, hidden, seq)
+		b := a
+		b.Hidden += 64
+		b.Heads = b.Hidden / 64
+		return b.TotalParams() > a.TotalParams()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestActivationAndFLOPsPositiveAndMonotonic: for any valid config,
+// activation bytes and FLOPs are positive and scale with microbatch.
+func TestActivationAndFLOPsPositiveAndMonotonic(t *testing.T) {
+	f := func(layers, hidden, seq, mbIn uint8) bool {
+		cfg := fuzzConfig(layers, hidden, seq)
+		mb := 1 + int(mbIn)%16
+		if cfg.BlockActivationBytes(mb) <= 0 || cfg.BlockForwardFLOPs(mb) <= 0 {
+			return false
+		}
+		if cfg.BlockActivationBytes(mb+1) <= cfg.BlockActivationBytes(mb) {
+			return false
+		}
+		if cfg.BlockForwardFLOPs(mb+1) <= cfg.BlockForwardFLOPs(mb) {
+			return false
+		}
+		return cfg.BoundaryBytes(mb) > 0 && cfg.LogitsBytes(mb) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAttentionShareGrowsWithSequence: the quadratic attention term
+// makes per-token FLOPs grow with sequence length.
+func TestAttentionShareGrowsWithSequence(t *testing.T) {
+	base := fuzzConfig(10, 10, 0)
+	longer := base
+	longer.SeqLen *= 4
+	perTokenBase := float64(base.BlockForwardFLOPs(1)) / float64(base.SeqLen)
+	perTokenLong := float64(longer.BlockForwardFLOPs(1)) / float64(longer.SeqLen)
+	if perTokenLong <= perTokenBase {
+		t.Errorf("per-token FLOPs must grow with sequence: %.0f vs %.0f",
+			perTokenBase, perTokenLong)
+	}
+}
+
+// TestIterationFLOPsLinear: iteration FLOPs scale linearly with the
+// microbatch count.
+func TestIterationFLOPsLinear(t *testing.T) {
+	f := func(layers, hidden, seq uint8) bool {
+		cfg := fuzzConfig(layers, hidden, seq)
+		one := cfg.IterationFLOPs(2, 1)
+		four := cfg.IterationFLOPs(2, 4)
+		ratio := float64(four) / float64(one)
+		return ratio > 3.999 && ratio < 4.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWorkloadSeedsDiffer: different seeds produce different batches.
+func TestWorkloadSeedsDiffer(t *testing.T) {
+	cfg := fuzzConfig(4, 4, 4)
+	w1, err := NewWorkload(cfg, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := NewWorkload(cfg, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := w1.Next(), w2.Next()
+	same := true
+	for i := range b1.Tokens[0] {
+		if b1.Tokens[0][i] != b2.Tokens[0][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical token streams")
+	}
+}

@@ -1,0 +1,108 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"mpress/internal/tensor"
+)
+
+// bertVocab and gptVocab are the standard WordPiece / BPE vocabulary
+// sizes of the public Bert and GPT-2 checkpoints.
+const (
+	bertVocab = 30522
+	gptVocab  = 50257
+)
+
+// BertVariant returns one of the paper's Bert configurations (Table
+// II): 0.35, 0.64, 1.67, 4.0 or 6.2 billion parameters, built by
+// making Bert "deeper and wider" as in the paper's Sec. IV-A. The
+// argument is the nominal size string, e.g. "1.67B".
+func BertVariant(size string) (Config, error) {
+	c, ok := bertVariants[size]
+	if !ok {
+		return Config{}, fmt.Errorf("model: unknown Bert variant %q (have %v)", size, BertSizes())
+	}
+	return c, nil
+}
+
+// GPTVariant returns one of the paper's GPT configurations (Table II):
+// 5.3, 10.3, 15.4, 20.4 or 25.5 billion parameters.
+func GPTVariant(size string) (Config, error) {
+	c, ok := gptVariants[size]
+	if !ok {
+		return Config{}, fmt.Errorf("model: unknown GPT variant %q (have %v)", size, GPTSizes())
+	}
+	return c, nil
+}
+
+func bert(name string, layers, hidden int) Config {
+	return Config{
+		Name:   "Bert-" + name,
+		Arch:   Bert,
+		Layers: layers,
+		Hidden: hidden,
+		Heads:  hidden / 64,
+		SeqLen: 512,
+		Vocab:  bertVocab,
+		// The paper's PipeDream runs Bert in full precision
+		// (Sec. IV-C notes DAPPLE, not PipeDream, enables FP16).
+		DType: tensor.FP32,
+	}
+}
+
+func gpt(name string, layers, hidden int) Config {
+	return Config{
+		Name:   "GPT-" + name,
+		Arch:   GPT,
+		Layers: layers,
+		Hidden: hidden,
+		Heads:  hidden / 64,
+		// 512 calibrates per-stage activation demand so that the
+		// largest DAPPLE-trainable GPT lands at 5.3B as in Table II.
+		SeqLen: 512,
+		Vocab:  gptVocab,
+		DType:  tensor.FP16,
+	}
+}
+
+var bertVariants = map[string]Config{
+	"0.35B": bert("0.35B", 24, 1024),
+	"0.64B": bert("0.64B", 30, 1280),
+	"1.67B": bert("1.67B", 32, 2048),
+	"4.0B":  bert("4.0B", 50, 2560),
+	"6.2B":  bert("6.2B", 54, 3072),
+}
+
+var gptVariants = map[string]Config{
+	"5.3B":  gpt("5.3B", 25, 4096),
+	"10.3B": gpt("10.3B", 50, 4096),
+	"15.4B": gpt("15.4B", 48, 5120),
+	"20.4B": gpt("20.4B", 64, 5120),
+	"25.5B": gpt("25.5B", 56, 6144),
+}
+
+func sortedKeys(m map[string]Config) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return m[keys[i]].TotalParams() < m[keys[j]].TotalParams()
+	})
+	return keys
+}
+
+// BertSizes lists the Bert variant names in ascending size order.
+func BertSizes() []string { return sortedKeys(bertVariants) }
+
+// GPTSizes lists the GPT variant names in ascending size order.
+func GPTSizes() []string { return sortedKeys(gptVariants) }
+
+// GPT3_175B returns the GPT-3 configuration used by the Sec. V
+// Grace-Hopper projection.
+func GPT3_175B() Config {
+	c := gpt("175B", 96, 12288)
+	c.SeqLen = 2048
+	return c
+}

@@ -1,0 +1,67 @@
+package model
+
+import "fmt"
+
+// Batch is one synthetic microbatch of token sequences — the stand-in
+// for the paper's SQuAD v1.1 (Bert) and Wikipedia (GPT) inputs. The
+// simulator consumes only the shape; the token values exist so that
+// examples can show a complete, end-to-end training loop.
+type Batch struct {
+	// Tokens[i][j] is the j-th token of the i-th sequence.
+	Tokens [][]int32
+	// Step is the global step that produced the batch.
+	Step int
+}
+
+// Sequences returns the microbatch size.
+func (b Batch) Sequences() int { return len(b.Tokens) }
+
+// Workload deterministically generates token batches shaped for a
+// model configuration. The generator is a small xorshift PRNG so runs
+// are reproducible without math/rand.
+type Workload struct {
+	cfg       Config
+	batchSize int
+	state     uint64
+	step      int
+}
+
+// NewWorkload creates a generator of microbatches of the given size
+// for cfg, seeded deterministically from seed.
+func NewWorkload(cfg Config, batchSize int, seed uint64) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("model: batch size %d", batchSize)
+	}
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Workload{cfg: cfg, batchSize: batchSize, state: seed}, nil
+}
+
+func (w *Workload) next() uint64 {
+	// xorshift64*
+	w.state ^= w.state >> 12
+	w.state ^= w.state << 25
+	w.state ^= w.state >> 27
+	return w.state * 0x2545f4914f6cdd1d
+}
+
+// Next produces the next microbatch.
+func (w *Workload) Next() Batch {
+	b := Batch{Tokens: make([][]int32, w.batchSize), Step: w.step}
+	for i := range b.Tokens {
+		seq := make([]int32, w.cfg.SeqLen)
+		for j := range seq {
+			seq[j] = int32(w.next() % uint64(w.cfg.Vocab))
+		}
+		b.Tokens[i] = seq
+	}
+	w.step++
+	return b
+}
+
+// Steps reports how many batches have been generated.
+func (w *Workload) Steps() int { return w.step }

@@ -1,0 +1,60 @@
+package pipeline
+
+import (
+	"testing"
+
+	"mpress/internal/model"
+)
+
+// TestUsefulFLOPsMatchesModelFormula: the builder's op-level FLOPs sum
+// to the model's closed-form iteration cost.
+func TestUsefulFLOPsMatchesModelFormula(t *testing.T) {
+	cfg := mustGPT(t, "5.3B")
+	prec := model.MixedAdam()
+	part, err := PartitionModel(cfg, 8, ComputeBalanced, DAPPLE, prec, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(BuildConfig{
+		Model: cfg, Prec: prec, Part: part, Kind: DAPPLE,
+		MicrobatchSize: 2, Microbatches: 8, Minibatches: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.IterationFLOPs(2, 8*2)
+	got := b.UsefulFLOPs
+	ratio := float64(got) / float64(want)
+	if ratio < 0.999 || ratio > 1.001 {
+		t.Errorf("builder FLOPs %v vs formula %v (ratio %.4f)", got, want, ratio)
+	}
+	if b.SamplesProcessed() != 2*8*2 {
+		t.Errorf("samples = %d, want 32", b.SamplesProcessed())
+	}
+}
+
+// TestDemandSummaryMatchesPerStage: Summarize is consistent with its
+// inputs for a real job.
+func TestDemandSummaryMatchesPerStage(t *testing.T) {
+	cfg := mustBert(t, "1.67B")
+	prec := model.FP32Adam()
+	part, err := PartitionModel(cfg, 8, ComputeBalanced, PipeDream, prec, 12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Demand(cfg, prec, part, PipeDream, 12, 8)
+	s := Summarize(d)
+	var total, max, min = s.Total - s.Total, d[0], d[0]
+	for _, v := range d {
+		total += v - RuntimeReserve
+		if v > max {
+			max = v
+		}
+		if v < min {
+			min = v
+		}
+	}
+	if s.Total != total || s.Max != max || s.Min != min {
+		t.Errorf("summary mismatch: %+v vs %v/%v/%v", s, total, max, min)
+	}
+}

@@ -1,0 +1,232 @@
+// Package pipeline implements inter-operator (pipeline) parallel
+// training: stage partitioning strategies, the PipeDream / DAPPLE /
+// GPipe execution schedules, per-stage memory demand modelling, and
+// the builder that lowers one training iteration to a dataflow graph
+// for the executor.
+package pipeline
+
+import (
+	"fmt"
+
+	"mpress/internal/model"
+	"mpress/internal/units"
+)
+
+// Stage describes one pipeline stage: a consecutive run of model
+// layers mapped to a single GPU (paper Sec. II-A).
+type Stage struct {
+	Index int
+	// FirstBlock and NumBlocks select the consecutive transformer
+	// blocks assigned to the stage.
+	FirstBlock int
+	NumBlocks  int
+	// HasEmbedding/HasHead mark the extra layers at the ends.
+	HasEmbedding bool
+	HasHead      bool
+}
+
+// Blocks returns the block indices in the stage.
+func (s Stage) Blocks() []int {
+	out := make([]int, s.NumBlocks)
+	for i := range out {
+		out[i] = s.FirstBlock + i
+	}
+	return out
+}
+
+// Partition is an assignment of all model layers to consecutive stages.
+type Partition struct {
+	Stages []Stage
+}
+
+// NumStages returns the stage count.
+func (p Partition) NumStages() int { return len(p.Stages) }
+
+// Validate checks that the partition covers every block exactly once
+// and places embedding and head at the ends.
+func (p Partition) Validate(cfg model.Config) error {
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("pipeline: empty partition")
+	}
+	next := 0
+	for i, s := range p.Stages {
+		if s.Index != i {
+			return fmt.Errorf("pipeline: stage %d has index %d", i, s.Index)
+		}
+		if s.FirstBlock != next {
+			return fmt.Errorf("pipeline: stage %d starts at block %d, want %d", i, s.FirstBlock, next)
+		}
+		if s.NumBlocks < 0 {
+			return fmt.Errorf("pipeline: stage %d has negative blocks", i)
+		}
+		if s.HasEmbedding != (i == 0) {
+			return fmt.Errorf("pipeline: embedding must be exactly on stage 0")
+		}
+		if s.HasHead != (i == len(p.Stages)-1) {
+			return fmt.Errorf("pipeline: head must be exactly on the last stage")
+		}
+		next += s.NumBlocks
+	}
+	if next != cfg.Layers {
+		return fmt.Errorf("pipeline: partition covers %d blocks, model has %d", next, cfg.Layers)
+	}
+	return nil
+}
+
+// Strategy selects a partitioning objective (paper Sec. II-D compares
+// computation-balanced against memory-balanced partitioning).
+type Strategy int
+
+const (
+	// ComputeBalanced equalizes per-stage forward compute time, the
+	// strategy PipeDream and DAPPLE recommend.
+	ComputeBalanced Strategy = iota
+	// MemoryBalanced equalizes per-stage memory demand at the price
+	// of imbalanced computation (the paper measures a 34% throughput
+	// loss from it).
+	MemoryBalanced
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case ComputeBalanced:
+		return "compute-balanced"
+	case MemoryBalanced:
+		return "memory-balanced"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// PartitionModel splits cfg into numStages stages under the given
+// strategy. The memory-balanced variant needs the schedule and batch
+// shape (in-flight counts depend on them); the compute-balanced one
+// ignores them.
+func PartitionModel(cfg model.Config, numStages int, strat Strategy, kind ScheduleKind, prec model.Precision, microbatch, microbatches int) (Partition, error) {
+	if err := cfg.Validate(); err != nil {
+		return Partition{}, err
+	}
+	if numStages <= 0 || numStages > cfg.Layers {
+		return Partition{}, fmt.Errorf("pipeline: %d stages for %d blocks", numStages, cfg.Layers)
+	}
+	switch strat {
+	case ComputeBalanced:
+		return computeBalanced(cfg, numStages), nil
+	case MemoryBalanced:
+		return memoryBalanced(cfg, numStages, kind, prec, microbatch, microbatches), nil
+	default:
+		return Partition{}, fmt.Errorf("pipeline: unknown strategy %v", strat)
+	}
+}
+
+// newPartition builds the Stage slice from per-stage block counts.
+func newPartition(counts []int) Partition {
+	p := Partition{Stages: make([]Stage, len(counts))}
+	next := 0
+	for i, n := range counts {
+		p.Stages[i] = Stage{
+			Index:        i,
+			FirstBlock:   next,
+			NumBlocks:    n,
+			HasEmbedding: i == 0,
+			HasHead:      i == len(counts)-1,
+		}
+		next += n
+	}
+	return p
+}
+
+// computeBalanced minimizes the maximum per-stage forward time. All
+// transformer blocks cost the same, the embedding is (nearly) free,
+// and the head adds its logit matmul to the last stage — so the
+// optimal contiguous split is found exactly by choosing how many
+// blocks the head's stage keeps and spreading the rest evenly.
+func computeBalanced(cfg model.Config, numStages int) Partition {
+	l := cfg.Layers
+	if numStages == 1 {
+		return newPartition([]int{l})
+	}
+	block := float64(cfg.BlockForwardFLOPs(1))
+	head := float64(cfg.HeadForwardFLOPs(1)) / block // head weight in block units
+
+	bestK, bestCost := 0, 1e300
+	for k := 0; k <= l-(numStages-1); k++ { // last stage gets k blocks
+		rest := l - k
+		maxOther := float64((rest + numStages - 2) / (numStages - 1))
+		cost := float64(k) + head
+		if maxOther > cost {
+			cost = maxOther
+		}
+		// Prefer the larger k on ties so the earlier stages (which
+		// already suffer higher memory pressure) don't grow.
+		if cost < bestCost || (cost == bestCost && k > bestK) {
+			bestK, bestCost = k, cost
+		}
+	}
+	counts := make([]int, numStages)
+	counts[numStages-1] = bestK
+	rest := l - bestK
+	for s := 0; s < numStages-1; s++ {
+		share := rest / (numStages - 1 - s)
+		if rest%(numStages-1-s) != 0 {
+			share++ // front-load the remainder deterministically
+		}
+		counts[s] = share
+		rest -= share
+	}
+	return newPartition(counts)
+}
+
+// memoryBalanced starts from the compute-balanced split and greedily
+// moves boundary blocks off the stage with the highest memory demand
+// until no single move improves the maximum (local search).
+func memoryBalanced(cfg model.Config, numStages int, kind ScheduleKind, prec model.Precision, microbatch, microbatches int) Partition {
+	part := computeBalanced(cfg, numStages)
+	counts := make([]int, numStages)
+	for i, s := range part.Stages {
+		counts[i] = s.NumBlocks
+	}
+	demand := func(counts []int) (units.Bytes, []units.Bytes) {
+		p := newPartition(counts)
+		d := Demand(cfg, prec, p, kind, microbatch, microbatches)
+		var max units.Bytes
+		for _, v := range d {
+			if v > max {
+				max = v
+			}
+		}
+		return max, d
+	}
+	cur, _ := demand(counts)
+	for iter := 0; iter < 4*cfg.Layers; iter++ {
+		improved := false
+		// Try moving one block across each stage boundary, both ways.
+		for b := 0; b < numStages-1; b++ {
+			for _, dir := range []int{+1, -1} {
+				trial := append([]int(nil), counts...)
+				if dir > 0 { // move last block of b to b+1
+					if trial[b] == 0 {
+						continue
+					}
+					trial[b]--
+					trial[b+1]++
+				} else { // move first block of b+1 to b
+					if trial[b+1] == 0 {
+						continue
+					}
+					trial[b+1]--
+					trial[b]++
+				}
+				if m, _ := demand(trial); m < cur {
+					counts, cur = trial, m
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return newPartition(counts)
+}

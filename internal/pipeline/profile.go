@@ -1,0 +1,141 @@
+package pipeline
+
+import (
+	"mpress/internal/model"
+	"mpress/internal/units"
+)
+
+// RuntimeReserve is the fixed per-GPU memory the training framework
+// itself occupies (CUDA context, NCCL buffers, allocator slack). It is
+// charged on every GPU before any model data.
+const RuntimeReserve = units.Bytes(5) * units.GiB / 2 // 2.5 GiB
+
+// StageProfile carries the static per-stage quantities the planner and
+// executor consume: parameters, per-microbatch activation footprint and
+// compute cost, and boundary traffic.
+type StageProfile struct {
+	Stage Stage
+	// Params is the stage's parameter count (embedding included on
+	// stage 0; the output head ties its weights to the embedding).
+	Params int64
+	// FwFLOPs / BwFLOPs are per microbatch, head included.
+	FwFLOPs units.FLOPs
+	BwFLOPs units.FLOPs
+	// ActBytes is the full activation footprint per microbatch;
+	// BlockActBytes the share of a single transformer block.
+	ActBytes      units.Bytes
+	BlockActBytes units.Bytes
+	// EmbedActBytes / LogitsBytes are non-block activation parts
+	// (zero unless the stage hosts the embedding / head).
+	EmbedActBytes units.Bytes
+	LogitsBytes   units.Bytes
+	// BoundaryBytes is the activation (and, symmetric, gradient)
+	// traffic per microbatch across one stage boundary.
+	BoundaryBytes units.Bytes
+}
+
+// PersistentBytes returns the stage's always-resident footprint:
+// parameters, gradients and optimizer state, plus any stashed weight
+// versions beyond the first.
+func (sp StageProfile) PersistentBytes(prec model.Precision, versions int) units.Bytes {
+	base := units.Bytes(sp.Params * prec.StateBytesPerParam())
+	if versions > 1 {
+		base += units.Bytes(int64(versions-1) * sp.Params * prec.ParamBytes)
+	}
+	return base
+}
+
+// ParamBytes returns just the live parameter copy's size.
+func (sp StageProfile) ParamBytes(prec model.Precision) units.Bytes {
+	return units.Bytes(sp.Params * prec.ParamBytes)
+}
+
+// GradBytes returns the gradient buffer size.
+func (sp StageProfile) GradBytes(prec model.Precision) units.Bytes {
+	return units.Bytes(sp.Params * prec.GradBytes)
+}
+
+// OptBytes returns the optimizer-state size.
+func (sp StageProfile) OptBytes(prec model.Precision) units.Bytes {
+	return units.Bytes(sp.Params * prec.OptBytes)
+}
+
+// Profile computes the per-stage profiles for cfg under part with
+// microbatches of b sequences.
+func Profile(cfg model.Config, part Partition, b int) []StageProfile {
+	out := make([]StageProfile, len(part.Stages))
+	for i, st := range part.Stages {
+		sp := StageProfile{
+			Stage:         st,
+			Params:        int64(st.NumBlocks) * cfg.ParamsPerBlock(),
+			BlockActBytes: cfg.BlockActivationBytes(b),
+			BoundaryBytes: cfg.BoundaryBytes(b),
+		}
+		sp.FwFLOPs = units.FLOPs(float64(st.NumBlocks)) * cfg.BlockForwardFLOPs(b)
+		sp.ActBytes = units.Bytes(int64(st.NumBlocks)) * sp.BlockActBytes
+		if st.HasEmbedding {
+			sp.Params += cfg.EmbeddingParams()
+			sp.EmbedActBytes = cfg.EmbeddingActivationBytes(b)
+			sp.ActBytes += sp.EmbedActBytes
+		}
+		if st.HasHead {
+			sp.FwFLOPs += cfg.HeadForwardFLOPs(b)
+			sp.LogitsBytes = cfg.LogitsBytes(b)
+			sp.ActBytes += sp.LogitsBytes
+		}
+		sp.BwFLOPs = 2 * sp.FwFLOPs
+		out[i] = sp
+	}
+	return out
+}
+
+// Demand computes the per-stage (and, with the identity mapping,
+// per-GPU) memory demand of one training job: persistent state
+// (including stashed weight versions), in-flight activations with the
+// schedule's retention counts, retained stage inputs, and the runtime
+// reserve. This is the analytic model behind Table II and Fig. 2.
+func Demand(cfg model.Config, prec model.Precision, part Partition, kind ScheduleKind, b, microbatches int) []units.Bytes {
+	profiles := Profile(cfg, part, b)
+	s := len(profiles)
+	out := make([]units.Bytes, s)
+	for i, sp := range profiles {
+		inflight := units.Bytes(kind.InFlight(i, s, microbatches))
+		d := RuntimeReserve
+		d += sp.PersistentBytes(prec, kind.WeightVersions(i, s))
+		d += inflight * sp.ActBytes
+		if i > 0 {
+			// The stage input (previous stage's boundary tensor) is
+			// retained per in-flight microbatch for the backward pass.
+			d += inflight * sp.BoundaryBytes
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// DemandSummary condenses a Demand result into the Table II columns.
+type DemandSummary struct {
+	Total units.Bytes
+	Max   units.Bytes
+	Min   units.Bytes
+}
+
+// Summarize computes total/max/min over per-stage demands, excluding
+// the runtime reserve from the total (the paper reports model data).
+func Summarize(demands []units.Bytes) DemandSummary {
+	var s DemandSummary
+	if len(demands) == 0 {
+		return s
+	}
+	s.Min = demands[0]
+	for _, d := range demands {
+		s.Total += d - RuntimeReserve
+		if d > s.Max {
+			s.Max = d
+		}
+		if d < s.Min {
+			s.Min = d
+		}
+	}
+	return s
+}

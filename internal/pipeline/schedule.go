@@ -1,0 +1,175 @@
+package pipeline
+
+import "fmt"
+
+// ScheduleKind selects how microbatches flow through the pipeline
+// (paper Fig. 1).
+type ScheduleKind int
+
+const (
+	// PipeDream is asynchronous 1F1B: the next minibatch's forwards
+	// overlap the previous minibatch's backwards, which requires
+	// stashing one weight version per in-flight microbatch.
+	PipeDream ScheduleKind = iota
+	// DAPPLE is synchronous 1F1B: backwards are scheduled early to
+	// release activation memory, but minibatches are serialized by a
+	// flush (vertical line in Fig. 1b).
+	DAPPLE
+	// GPipe runs all forwards before all backwards within a
+	// minibatch, maximizing activation residency.
+	GPipe
+)
+
+// String returns the schedule name.
+func (k ScheduleKind) String() string {
+	switch k {
+	case PipeDream:
+		return "PipeDream"
+	case DAPPLE:
+		return "DAPPLE"
+	case GPipe:
+		return "GPipe"
+	default:
+		return fmt.Sprintf("ScheduleKind(%d)", int(k))
+	}
+}
+
+// Async reports whether minibatches overlap (no flush).
+func (k ScheduleKind) Async() bool { return k == PipeDream }
+
+// InFlight returns how many microbatches' activations stage `stage`
+// holds simultaneously at steady state: under 1F1B, the stages that
+// host early pipeline stages accumulate more (paper Sec. II-C) —
+// stage s holds numStages-s copies, capped by the microbatch count.
+func (k ScheduleKind) InFlight(stage, numStages, microbatches int) int {
+	switch k {
+	case GPipe:
+		return microbatches
+	default:
+		n := numStages - stage
+		if n > microbatches {
+			n = microbatches
+		}
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+}
+
+// WeightVersions returns how many parameter versions stage `stage`
+// stashes. PipeDream's asynchronous scheduling requires one version
+// per in-flight microbatch to preserve convergence (Sec. II-C);
+// synchronous schedules keep a single version.
+func (k ScheduleKind) WeightVersions(stage, numStages int) int {
+	if k == PipeDream {
+		v := numStages - stage
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return 1
+}
+
+// Pass distinguishes forward from backward slots.
+type Pass int
+
+const (
+	// FwdPass and BwdPass are microbatch passes; OptPass is the
+	// per-minibatch optimizer step.
+	FwdPass Pass = iota
+	BwdPass
+	OptPass
+)
+
+// String returns "F", "B" or "U" (update).
+func (p Pass) String() string {
+	switch p {
+	case FwdPass:
+		return "F"
+	case BwdPass:
+		return "B"
+	case OptPass:
+		return "U"
+	default:
+		return "?"
+	}
+}
+
+// Slot is one unit of work in a device's local schedule.
+type Slot struct {
+	Pass Pass
+	// Microbatch is the global microbatch index (across minibatches)
+	// for F/B slots, or the minibatch index for OptPass slots.
+	Microbatch int
+}
+
+// StageOrder returns the exact local execution order of stage `stage`
+// for `minibatches` minibatches of `microbatches` microbatches each —
+// the per-device serialization the executor enforces (Fig. 1).
+func (k ScheduleKind) StageOrder(stage, numStages, microbatches, minibatches int) []Slot {
+	var slots []Slot
+	switch k {
+	case GPipe:
+		for q := 0; q < minibatches; q++ {
+			base := q * microbatches
+			for m := 0; m < microbatches; m++ {
+				slots = append(slots, Slot{FwdPass, base + m})
+			}
+			for m := 0; m < microbatches; m++ {
+				slots = append(slots, Slot{BwdPass, base + m})
+			}
+			slots = append(slots, Slot{OptPass, q})
+		}
+	case DAPPLE:
+		warm := k.InFlight(stage, numStages, microbatches)
+		for q := 0; q < minibatches; q++ {
+			base := q * microbatches
+			f, b := 0, 0
+			for f < warm && f < microbatches {
+				slots = append(slots, Slot{FwdPass, base + f})
+				f++
+			}
+			for b < microbatches {
+				slots = append(slots, Slot{BwdPass, base + b})
+				b++
+				if f < microbatches {
+					slots = append(slots, Slot{FwdPass, base + f})
+					f++
+				}
+			}
+			slots = append(slots, Slot{OptPass, q})
+		}
+	case PipeDream:
+		// Continuous 1F1B across minibatch boundaries: a single
+		// warmup at the start of training, then strict alternation.
+		// The optimizer slot for minibatch q is inserted right after
+		// the backward of q's last microbatch.
+		total := microbatches * minibatches
+		warm := numStages - stage
+		if warm > total {
+			warm = total
+		}
+		if warm < 1 {
+			warm = 1
+		}
+		f, b := 0, 0
+		for f < warm {
+			slots = append(slots, Slot{FwdPass, f})
+			f++
+		}
+		for b < total {
+			slots = append(slots, Slot{BwdPass, b})
+			if (b+1)%microbatches == 0 {
+				slots = append(slots, Slot{OptPass, b / microbatches})
+			}
+			b++
+			if f < total {
+				slots = append(slots, Slot{FwdPass, f})
+				f++
+			}
+		}
+	}
+	return slots
+}

@@ -1,0 +1,99 @@
+package plan
+
+import (
+	"testing"
+
+	"mpress/internal/hw"
+	"mpress/internal/pipeline"
+	"mpress/internal/tensor"
+	"mpress/internal/units"
+)
+
+// TestParkingRespectsPCIeBudget: with a crippled PCIe link, the
+// planner must park almost nothing (the budget is proportional to
+// link bandwidth), falling back to other mechanisms.
+func TestParkingRespectsPCIeBudget(t *testing.T) {
+	build := smallJob(t, pipeline.PipeDream)
+	peaks := measure(t, build, hw.DGX1())
+	capGiB := capacityBetween(t, peaks)
+
+	fast := topoWithCapacity(capGiB)
+	slow := topoWithCapacity(capGiB)
+	slow.PCIeBW = units.GBps(0.05)
+
+	pf, err := Compute(Options{Topo: fast, Build: build, Allowed: AllMechanisms()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Compute(Options{Topo: slow, Build: build, Allowed: AllMechanisms()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parkedBytes := func(p *Plan, b func() (*pipeline.Built, error)) units.Bytes {
+		built, err := b()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total units.Bytes
+		for id := range p.HostPersist {
+			total += built.Graph.Tensors.Get(id).Size
+		}
+		return total
+	}
+	f := parkedBytes(pf, build)
+	s := parkedBytes(ps, build)
+	if s > f {
+		t.Errorf("slow PCIe parked more (%v) than fast (%v)", s, f)
+	}
+}
+
+// TestHostPersistNeverTouchesGradsOrLiveParams: eligibility is
+// restricted to optimizer states and stashed versions.
+func TestHostPersistNeverTouchesGradsOrLiveParams(t *testing.T) {
+	build := smallJob(t, pipeline.PipeDream)
+	peaks := measure(t, build, hw.DGX1())
+	topo := topoWithCapacity(capacityBetween(t, peaks))
+	pl, err := Compute(Options{Topo: topo, Build: build, Allowed: AllMechanisms()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := build()
+	for id := range pl.HostPersist {
+		tn := b.Graph.Tensors.Get(id)
+		switch tn.Class {
+		case tensor.OptimizerState:
+		case tensor.Parameter:
+			// Only stashed versions (no uses) may park.
+			order, _ := b.Graph.TopoOrder()
+			if len(b.Graph.Analyze(order).Uses[id]) != 0 {
+				t.Errorf("live parameter %s parked", tn.Name)
+			}
+		default:
+			t.Errorf("%s tensor %s parked", tn.Class, tn.Name)
+		}
+	}
+}
+
+// TestD2DStripesStayWithinSpare: the planned stripes of every tensor
+// target NVLink neighbors of its stage's GPU.
+func TestD2DStripesStayWithinSpare(t *testing.T) {
+	build := smallJob(t, pipeline.PipeDream)
+	peaks := measure(t, build, hw.DGX1())
+	topo := topoWithCapacity(capacityBetween(t, peaks))
+	pl, err := Compute(Options{Topo: topo, Build: build, Allowed: Allowed{D2D: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := build()
+	for id, parts := range pl.Parts {
+		src := pl.Mapping[b.Graph.Tensors.Get(id).Stage]
+		for _, p := range parts {
+			if topo.LanesBetween(src, p.Peer) == 0 {
+				t.Errorf("tensor %d striped to unreachable %v from %v", id, p.Peer, src)
+			}
+			if p.Peer == src {
+				t.Errorf("tensor %d striped to its own GPU", id)
+			}
+		}
+	}
+}

@@ -1,0 +1,1038 @@
+// Package plan implements MPress Static's planner (paper Fig. 5 and
+// Sec. III-D): decide, for every memory-resident tensor of an
+// inter-operator training job, whether to leave it resident, drop and
+// recompute it, swap it to host memory over PCIe, or D2D-swap it to a
+// light-loaded peer GPU over NVLink — so that every stage fits its GPU
+// while the extra delay is minimized.
+//
+// The algorithm follows the paper's approximated search:
+//
+//  1. Profile one iteration (live intervals, per-stage peaks).
+//  2. Run the Fig. 6 device-mapping search to place overflowing
+//     stages next to spare NVLink neighbors.
+//  3. Initial assignment: host-swap the extremely long-lived tensors
+//     (optimizer states, stashed weight versions), then walk each
+//     overflowing stage's blocks from the last layer backwards
+//     assigning recomputation where its cost beats the GPU-CPU swap
+//     overhead, host-swap otherwise, until the estimated savings cover
+//     the overflow.
+//  4. Refinement: emulate; on OOM raise the target and retry; then
+//     greedily convert the worst-overhead assignments to D2D swap
+//     while spare GPU memory lasts, keeping each conversion only if
+//     the emulator reports an improvement.
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"mpress/internal/compaction"
+	"mpress/internal/exec"
+	"mpress/internal/fabric"
+	"mpress/internal/graph"
+	"mpress/internal/hw"
+	"mpress/internal/mapping"
+	"mpress/internal/pipeline"
+	"mpress/internal/profiler"
+	"mpress/internal/tensor"
+	"mpress/internal/units"
+)
+
+// Mechanism is one memory-saving technique.
+type Mechanism int
+
+const (
+	MechNone Mechanism = iota
+	MechRecompute
+	MechHostSwap
+	MechD2D
+)
+
+// String returns the mechanism name as used in the paper's tables.
+func (m Mechanism) String() string {
+	switch m {
+	case MechNone:
+		return "none"
+	case MechRecompute:
+		return "Recomputation"
+	case MechHostSwap:
+		return "GPU-CPU swap"
+	case MechD2D:
+		return "D2D swap"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(m))
+	}
+}
+
+// Allowed selects which mechanisms the planner may use — the paper's
+// baselines are MPress with subsets disabled.
+type Allowed struct {
+	Recompute bool
+	HostSwap  bool
+	D2D       bool
+}
+
+// AllMechanisms enables everything (full MPress).
+func AllMechanisms() Allowed { return Allowed{Recompute: true, HostSwap: true, D2D: true} }
+
+// Options configures the planner.
+type Options struct {
+	Topo *hw.Topology
+	// Build returns a fresh lowering of the job. Builds are
+	// deterministic, so tensor and op IDs are stable across calls;
+	// the planner instruments fresh copies for each emulation.
+	Build   func() (*pipeline.Built, error)
+	Allowed Allowed
+	// SafetyMargin widens each stage's savings target to absorb the
+	// timing shifts instrumentation itself introduces. Default 512 MiB.
+	SafetyMargin units.Bytes
+	// MaxRefinements bounds the emulator-feedback loop. Default 6.
+	MaxRefinements int
+	// DisableMappingSearch keeps the identity stage→GPU mapping
+	// (Fig. 9's "default setting" ablation).
+	DisableMappingSearch bool
+	// DisableStriping routes every D2D swap to a single peer instead
+	// of striping across all reachable ones (Fig. 9 ablation).
+	DisableStriping bool
+}
+
+// groupKey identifies a per-(stage, block) activation group.
+type groupKey struct {
+	Stage int
+	Block int
+}
+
+// Plan is the planner's output, applicable to any fresh Built of the
+// same job.
+type Plan struct {
+	Mapping []hw.DeviceID
+	// Act assigns a mechanism to individual activation tensors.
+	Act map[tensor.ID]Mechanism
+	// Parts carries the D2D stripe layout per D2D-swapped tensor.
+	Parts map[tensor.ID][]fabric.Part
+	// HostPersist marks persistent tensors parked in host memory and
+	// restored around their uses.
+	HostPersist map[tensor.ID]bool
+
+	// SavedByMech estimates bytes of GPU memory saved per mechanism
+	// (the Table IV breakdown); StageRange gives the lowest/highest
+	// stage each mechanism was applied to ([2]int{-1,-1} if unused).
+	SavedByMech map[Mechanism]units.Bytes
+	StageRange  map[Mechanism][2]int
+
+	// Emulations counts emulator runs spent planning; Baseline and
+	// Planned are the unbounded profile duration and the final
+	// emulated duration.
+	Emulations int
+	Baseline   units.Duration
+	Planned    units.Duration
+}
+
+// planner carries the working state of one Compute call.
+type planner struct {
+	o       Options
+	built   *pipeline.Built // reference lowering (never instrumented)
+	profile *profiler.Profile
+	mapRes  *mapping.Result
+	spare   compaction.SpareBudget
+
+	slotOf     map[tensor.ID]pipeline.SlotKey
+	inUse      map[groupKey]Mechanism
+	plan       *Plan
+	targets    []units.Bytes // per-stage savings targets
+	emulations int
+}
+
+// Compute runs the planner.
+func Compute(o Options) (*Plan, error) {
+	if o.Topo == nil || o.Build == nil {
+		return nil, fmt.Errorf("plan: Topo and Build are required")
+	}
+	if o.SafetyMargin == 0 {
+		o.SafetyMargin = 512 * units.MiB
+	}
+	if o.MaxRefinements == 0 {
+		o.MaxRefinements = 6
+	}
+
+	p := &planner{o: o}
+	var err error
+	if p.built, err = o.Build(); err != nil {
+		return nil, err
+	}
+	if p.profile, err = profiler.Collect(o.Topo, p.built, nil); err != nil {
+		return nil, err
+	}
+
+	// Step 2: device mapping (Fig. 6).
+	if o.DisableMappingSearch || o.Topo.Switched {
+		identity := exec.IdentityMapping(p.built.NumStages())
+		p.mapRes = mapping.Search(o.Topo, p.profile.StagePeak)
+		p.mapRes.Mapping = identity
+		p.mapRes.Spare = spareFromPeaks(o.Topo, identity, p.profile.StagePeak)
+	} else {
+		p.mapRes = mapping.Search(o.Topo, p.profile.StagePeak)
+	}
+
+	p.slotOf = make(map[tensor.ID]pipeline.SlotKey)
+	for k, acts := range p.built.Acts {
+		for _, id := range acts {
+			p.slotOf[id] = k
+		}
+	}
+
+	// Per-stage savings targets.
+	p.targets = make([]units.Bytes, p.built.NumStages())
+	for s, peak := range p.profile.StagePeak {
+		if peak > o.Topo.GPU.Memory {
+			p.targets[s] = peak - o.Topo.GPU.Memory + o.SafetyMargin
+		}
+	}
+
+	// Steps 3-4 with OOM-retry.
+	res, err := p.assignAndRefine()
+	if err != nil {
+		return nil, err
+	}
+	p.plan.Baseline = p.profile.Duration
+	p.plan.Planned = res
+	p.plan.Emulations = p.emulations
+	p.finalizeSummary()
+	return p.plan, nil
+}
+
+// finalizeSummary recomputes SavedByMech and StageRange from the final
+// per-tensor assignment (partial D2D conversions and refinement undos
+// make the incremental counters unreliable).
+func (p *planner) finalizeSummary() {
+	p.plan.SavedByMech = make(map[Mechanism]units.Bytes)
+	p.plan.StageRange = map[Mechanism][2]int{
+		MechRecompute: {-1, -1}, MechHostSwap: {-1, -1}, MechD2D: {-1, -1},
+	}
+	b := p.built
+	S := b.NumStages()
+	for id, mech := range p.plan.Act {
+		if mech == MechNone {
+			continue
+		}
+		tn := b.Graph.Tensors.Get(id)
+		inflight := b.Cfg.Kind.InFlight(tn.Stage, S, b.Cfg.Microbatches)
+		// A group of instances (one per microbatch) jointly reduces
+		// the stage's steady residency by size×(inflight-1); divide
+		// across the instances so per-tensor sums stay meaningful.
+		instances := b.Cfg.Microbatches * b.Cfg.Minibatches
+		saved := tn.Size * units.Bytes(inflight-1) / units.Bytes(instances)
+		if saved <= 0 {
+			saved = tn.Size / units.Bytes(2*instances)
+		}
+		p.note(mech, tn.Stage, saved)
+	}
+	for id := range p.plan.HostPersist {
+		tn := b.Graph.Tensors.Get(id)
+		p.note(MechHostSwap, tn.Stage, tn.Size)
+	}
+}
+
+// spareFromPeaks derives per-GPU import budgets from measured peaks
+// under a fixed mapping.
+func spareFromPeaks(topo *hw.Topology, m []hw.DeviceID, peaks []units.Bytes) compaction.SpareBudget {
+	spare := make(compaction.SpareBudget)
+	hosted := make(map[hw.DeviceID]bool)
+	for s, g := range m {
+		hosted[g] = true
+		if free := topo.GPU.Memory - peaks[s]; free > mapping.SpareMargin {
+			spare[g] = free - mapping.SpareMargin
+		}
+	}
+	for g := 0; g < topo.NumGPUs; g++ {
+		if id := hw.DeviceID(g); !hosted[id] {
+			spare[id] = topo.GPU.Memory - mapping.SpareMargin
+		}
+	}
+	return spare
+}
+
+// newPlan resets the working plan.
+func (p *planner) newPlan() {
+	p.plan = &Plan{
+		Mapping:     p.mapRes.Mapping,
+		Act:         make(map[tensor.ID]Mechanism),
+		Parts:       make(map[tensor.ID][]fabric.Part),
+		HostPersist: make(map[tensor.ID]bool),
+		SavedByMech: make(map[Mechanism]units.Bytes),
+		StageRange: map[Mechanism][2]int{
+			MechRecompute: {-1, -1}, MechHostSwap: {-1, -1}, MechD2D: {-1, -1},
+		},
+	}
+	p.inUse = make(map[groupKey]Mechanism)
+	p.spare = compaction.SpareBudget(p.mapRes.Spare).Clone()
+}
+
+func (p *planner) note(mech Mechanism, stage int, saved units.Bytes) {
+	p.plan.SavedByMech[mech] += saved
+	r := p.plan.StageRange[mech]
+	if r[0] == -1 || stage < r[0] {
+		r[0] = stage
+	}
+	if stage > r[1] {
+		r[1] = stage
+	}
+	p.plan.StageRange[mech] = r
+}
+
+// assignAndRefine builds the initial assignment and runs the
+// emulator-feedback loop, retrying with larger targets on OOM.
+func (p *planner) assignAndRefine() (units.Duration, error) {
+	var lastDur units.Duration
+	for attempt := 0; ; attempt++ {
+		p.newPlan()
+		if err := p.initialAssignment(); err != nil {
+			return 0, err
+		}
+		res, err := p.emulate(p.plan)
+		if err != nil {
+			return 0, err
+		}
+		if res.OOM == nil {
+			lastDur = res.Duration
+			break
+		}
+		if attempt >= p.o.MaxRefinements {
+			// Let the caller see the OOM through a final Apply/Run;
+			// planning cannot satisfy the job (e.g. D2D-only on a
+			// model whose overflow exceeds all spare memory).
+			return 0, nil
+		}
+		// Raise the failing stage's target by the observed deficit.
+		g := res.OOM.Device
+		var stage = -1
+		for s, dev := range p.plan.Mapping {
+			if fmt.Sprintf("gpu%d", dev) == g {
+				stage = s
+				break
+			}
+		}
+		if stage < 0 {
+			return 0, fmt.Errorf("plan: OOM on unmapped device %s", g)
+		}
+		p.targets[stage] += res.OOM.Requested + 256*units.MiB
+	}
+
+	if p.o.Allowed.D2D && (p.o.Allowed.Recompute || p.o.Allowed.HostSwap) {
+		d, err := p.refineWithD2D(lastDur)
+		if err != nil {
+			return 0, err
+		}
+		lastDur = d
+	}
+	return lastDur, nil
+}
+
+// initialAssignment implements step 3.
+func (p *planner) initialAssignment() error {
+	b := p.built
+	S := b.NumStages()
+	kind := b.Cfg.Kind
+	rate := p.rate()
+
+	for s := 0; s < S; s++ {
+		need := p.targets[s]
+		if need <= 0 {
+			continue
+		}
+		// 3a: extremely long-lived persistent tensors first — but only
+		// as much as the optimizer window can drain over PCIe. Parking
+		// beyond that budget serializes the optimizer step behind the
+		// link and costs more than it saves (on fast-compute jobs the
+		// paper's Table IV shows GPU-CPU swap contributing only a few
+		// percent for exactly this reason).
+		if p.o.Allowed.HostSwap {
+			parkBudget := p.parkBudget(s)
+			for _, id := range b.Persistent[s] {
+				if need <= 0 || parkBudget <= 0 {
+					break
+				}
+				tn := b.Graph.Tensors.Get(id)
+				if !hostPersistEligible(tn, p.profile) || tn.Size > parkBudget {
+					continue
+				}
+				p.plan.HostPersist[id] = true
+				p.note(MechHostSwap, s, tn.Size)
+				need -= tn.Size
+				parkBudget -= tn.Size
+			}
+		}
+		if need <= 0 {
+			continue
+		}
+
+		// 3b: activation block groups, last block of the stage first
+		// (recompute later layers preferentially, in consecutive runs).
+		// GPU-CPU swap is only chosen while the stage's PCIe budget —
+		// the bytes one compute slot can drain concurrently with the
+		// rest of the stage's traffic — lasts; beyond it, swapping
+		// would stall the pipeline and recomputation wins.
+		blocks := b.Cfg.Part.Stages[s].Blocks()
+		inflight := kind.InFlight(s, S, b.Cfg.Microbatches)
+		pcieBudget := units.Bytes(float64(p.o.Topo.PCIeBW) * p.profile.SlotDuration[s].Secondsf() * 0.5)
+		for i := len(blocks) - 1; i >= 0 && need > 0; i-- {
+			blk := blocks[i]
+			mech := p.chooseGroupMech(s, blk, rate)
+			if mech == MechNone {
+				continue
+			}
+			if mech == MechHostSwap {
+				size := p.groupSize(s, blk)
+				if size > pcieBudget {
+					if p.o.Allowed.Recompute {
+						mech = MechRecompute
+					}
+				} else {
+					pcieBudget -= size
+				}
+			}
+			saved := p.applyGroup(s, blk, mech, inflight)
+			need -= saved
+		}
+		// 3c: if recomputation alone could not cover it, host-swap the
+		// remaining long-lived activations of the earliest microbatches.
+		if need > 0 && p.o.Allowed.HostSwap {
+			for i := len(blocks) - 1; i >= 0 && need > 0; i-- {
+				blk := blocks[i]
+				if p.inUse[groupKey{s, blk}] == MechRecompute {
+					continue
+				}
+				saved := p.applyGroup(s, blk, MechHostSwap, inflight)
+				need -= saved
+			}
+		}
+		// 3d: D2D-only mode (or final shortfall): send groups to peers.
+		if need > 0 && p.o.Allowed.D2D {
+			for i := len(blocks) - 1; i >= 0 && need > 0; i-- {
+				blk := blocks[i]
+				if p.inUse[groupKey{s, blk}] != MechNone {
+					continue
+				}
+				saved := p.applyGroupD2D(s, blk)
+				need -= saved
+			}
+		}
+		// 3e: last resort — park the remaining eligible persistent
+		// tensors past the PCIe budget; slow, but the alternative is
+		// certain OOM.
+		if need > 0 && p.o.Allowed.HostSwap {
+			for _, id := range b.Persistent[s] {
+				if need <= 0 {
+					break
+				}
+				tn := b.Graph.Tensors.Get(id)
+				if p.plan.HostPersist[id] || !hostPersistEligible(tn, p.profile) {
+					continue
+				}
+				p.plan.HostPersist[id] = true
+				p.note(MechHostSwap, s, tn.Size)
+				need -= tn.Size
+			}
+		}
+	}
+	return nil
+}
+
+// parkBudget returns how many persistent bytes stage s can round-trip
+// over PCIe inside the optimizer step's idle window without extending
+// the iteration: half the bytes the window can move (out and back).
+func (p *planner) parkBudget(s int) units.Bytes {
+	// The optimizer window is the gap between a stage's consecutive
+	// optimizer uses — approximate it with the stage's share of the
+	// profiled iteration per minibatch.
+	gap := p.profile.Duration / units.Duration(p.built.Cfg.Minibatches)
+	return units.Bytes(float64(p.o.Topo.PCIeBW) * gap.Secondsf() / 2)
+}
+
+// rate returns the compute rate matching the job's precision.
+func (p *planner) rate() units.FLOPSRate {
+	if p.built.Cfg.Model.DType == tensor.FP32 {
+		return p.o.Topo.GPU.EffectiveFP32()
+	}
+	return p.o.Topo.GPU.EffectiveFP16()
+}
+
+// hostPersistEligible accepts persistent tensors whose every use gap
+// is long (optimizer states, stashed versions) — never gradients or
+// live parameters, which are touched every microbatch.
+func hostPersistEligible(tn *tensor.Tensor, prof *profiler.Profile) bool {
+	switch tn.Class {
+	case tensor.OptimizerState:
+		return true
+	case tensor.Parameter:
+		// Stashed versions have no uses at all.
+		return len(prof.Stats[tn.ID].Windows) == 0
+	default:
+		return false
+	}
+}
+
+// chooseGroupMech compares mechanisms for one block group using the
+// paper's Table III logic on the group's median live interval.
+func (p *planner) chooseGroupMech(stage, blk int, rate units.FLOPSRate) Mechanism {
+	live := p.groupLive(stage, blk)
+	ids := p.groupTensors(stage, blk)
+	if len(ids) == 0 {
+		return MechNone
+	}
+	sample := ids[0]
+	size := p.built.Graph.Tensors.Get(sample).Size
+	recompute := units.MaxDuration
+	if p.o.Allowed.Recompute {
+		recompute = compaction.RecomputeCost(p.built.RecomputeFLOPs[sample], rate)
+	}
+	hostswap := units.MaxDuration
+	if p.o.Allowed.HostSwap {
+		hostswap = compaction.Overhead(compaction.HostSwapCost(p.o.Topo, size), live)
+	}
+	switch {
+	case recompute == units.MaxDuration && hostswap == units.MaxDuration:
+		return MechNone
+	case recompute <= hostswap:
+		// Ties prefer recomputation: it does not consume the scarce
+		// spare GPU memory (paper's t3 reasoning).
+		return MechRecompute
+	default:
+		return MechHostSwap
+	}
+}
+
+// groupLive returns the median live interval across the group's
+// instances.
+func (p *planner) groupLive(stage, blk int) units.Duration {
+	var gaps []units.Duration
+	for _, id := range p.groupTensors(stage, blk) {
+		if w := p.profile.Stats[id].LongestWindow(); w.From >= 0 {
+			gaps = append(gaps, w.Gap)
+		}
+	}
+	if len(gaps) == 0 {
+		return 0
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	return gaps[len(gaps)/2]
+}
+
+// groupSize returns the per-instance byte size of a block group.
+func (p *planner) groupSize(stage, blk int) units.Bytes {
+	ids := p.groupTensors(stage, blk)
+	if len(ids) == 0 {
+		return 0
+	}
+	return p.built.Graph.Tensors.Get(ids[0]).Size
+}
+
+// groupTensors lists the group's activation instances in microbatch
+// order.
+func (p *planner) groupTensors(stage, blk int) []tensor.ID {
+	var ids []tensor.ID
+	for id, k := range p.slotOf {
+		if k.Stage == stage && p.built.Graph.Tensors.Get(id).Layer == blk {
+			if _, ok := p.built.RecomputeFLOPs[id]; ok {
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// applyGroup assigns mech to every instance of the group and returns
+// the estimated stage saving: one instance stays transiently resident,
+// the rest of the in-flight copies are gone.
+func (p *planner) applyGroup(stage, blk int, mech Mechanism, inflight int) units.Bytes {
+	ids := p.groupTensors(stage, blk)
+	if len(ids) == 0 {
+		return 0
+	}
+	for _, id := range ids {
+		p.plan.Act[id] = mech
+	}
+	p.inUse[groupKey{stage, blk}] = mech
+	size := p.built.Graph.Tensors.Get(ids[0]).Size
+	saved := size * units.Bytes(inflight-1)
+	if saved <= 0 {
+		saved = size / 2
+	}
+	p.note(mech, stage, saved)
+	return saved
+}
+
+// applyGroupD2D assigns D2D to the group, planning stripes for every
+// instance that can coexist (in-flight count) against the spare
+// budget. Returns the estimated saving (zero if spare is exhausted).
+func (p *planner) applyGroupD2D(stage, blk int) units.Bytes {
+	ids := p.groupTensors(stage, blk)
+	if len(ids) == 0 {
+		return 0
+	}
+	b := p.built
+	kind := b.Cfg.Kind
+	inflight := kind.InFlight(stage, b.NumStages(), b.Cfg.Microbatches)
+	src := p.plan.Mapping[stage]
+
+	// Every concurrently swapped-out instance occupies peer memory;
+	// budget one slot per in-flight copy and reuse the layouts
+	// round-robin across microbatches.
+	size := b.Graph.Tensors.Get(ids[0]).Size
+	layouts := make([][]fabric.Part, 0, inflight)
+	for i := 0; i < inflight; i++ {
+		parts := p.planStripes(src, size)
+		if parts == nil {
+			for _, l := range layouts {
+				compaction.UnplanStripes(p.spare, l)
+			}
+			return 0
+		}
+		layouts = append(layouts, parts)
+	}
+	for i, id := range ids {
+		p.plan.Act[id] = MechD2D
+		p.plan.Parts[id] = layouts[i%len(layouts)]
+	}
+	p.inUse[groupKey{stage, blk}] = MechD2D
+	saved := size * units.Bytes(inflight-1)
+	if saved <= 0 {
+		saved = size / 2
+	}
+	p.note(MechD2D, stage, saved)
+	return saved
+}
+
+// planStripes honors the DisableStriping ablation.
+func (p *planner) planStripes(src hw.DeviceID, size units.Bytes) []fabric.Part {
+	if !p.o.DisableStriping {
+		return compaction.PlanStripes(p.o.Topo, src, size, p.spare)
+	}
+	// Single-peer route: the reachable neighbor with the most spare.
+	var best hw.DeviceID = -1
+	var bestAvail units.Bytes
+	for _, nb := range p.o.Topo.NVLinkNeighbors(src) {
+		if p.spare[nb] > bestAvail {
+			best, bestAvail = nb, p.spare[nb]
+		}
+	}
+	if best < 0 || bestAvail < size {
+		return nil
+	}
+	p.spare[best] -= size
+	return compaction.SingleStripe(best, size)
+}
+
+// refineWithD2D is step 4: convert the worst-overhead groups to D2D
+// while the emulator agrees it helps.
+func (p *planner) refineWithD2D(current units.Duration) (units.Duration, error) {
+	type cand struct {
+		key      groupKey
+		overhead units.Duration
+	}
+	rate := p.rate()
+	for round := 0; round < p.o.MaxRefinements; round++ {
+		var cands []cand
+		for key, mech := range p.inUse {
+			if mech != MechRecompute && mech != MechHostSwap {
+				continue
+			}
+			live := p.groupLive(key.Stage, key.Block)
+			ids := p.groupTensors(key.Stage, key.Block)
+			if len(ids) == 0 {
+				continue
+			}
+			size := p.built.Graph.Tensors.Get(ids[0]).Size
+			var ov units.Duration
+			if mech == MechRecompute {
+				ov = compaction.RecomputeCost(p.built.RecomputeFLOPs[ids[0]], rate)
+			} else {
+				ov = compaction.Overhead(compaction.HostSwapCost(p.o.Topo, size), live)
+			}
+			// Zero static overhead still qualifies: PCIe queueing and
+			// throttling costs are only visible to the emulator, which
+			// arbitrates every conversion below.
+			cands = append(cands, cand{key: key, overhead: ov})
+		}
+		if len(cands) == 0 {
+			return current, nil
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].overhead != cands[j].overhead {
+				return cands[i].overhead > cands[j].overhead
+			}
+			if cands[i].key.Stage != cands[j].key.Stage {
+				return cands[i].key.Stage < cands[j].key.Stage
+			}
+			return cands[i].key.Block < cands[j].key.Block
+		})
+
+		improved := false
+		for _, c := range cands {
+			// Prefer retargeting to D2D (the paper's refinement);
+			// when spare memory is exhausted or D2D does not help,
+			// fall back to trading a hostswap group for recomputation.
+			attempts := []func(groupKey) (bool, func()){p.convertToD2D}
+			if p.o.Allowed.Recompute && p.inUse[c.key] == MechHostSwap {
+				attempts = append(attempts, p.convertToRecompute)
+			}
+			for _, attempt := range attempts {
+				trial, undo := attempt(c.key)
+				if !trial {
+					continue
+				}
+				res, err := p.emulate(p.plan)
+				if err != nil {
+					return 0, err
+				}
+				// Ties are accepted: an equal-duration D2D route
+				// still relieves the PCIe link and GPU compute the
+				// other mechanisms consume.
+				if res.OOM == nil && res.Duration <= current {
+					current = res.Duration
+					improved = true
+					break
+				}
+				undo()
+			}
+			if improved {
+				break // re-rank candidates after each accepted move
+			}
+		}
+		if !improved {
+			return current, nil
+		}
+	}
+	return current, nil
+}
+
+// convertToD2D retargets a group to D2D, returning an undo closure.
+// When the spare budget cannot host all of the group's in-flight
+// instances, the conversion is partial: only microbatch instances in
+// coexistence slots with a planned stripe layout move to D2D (the
+// paper likewise applies D2D tensor by tensor where spare allows).
+func (p *planner) convertToD2D(key groupKey) (bool, func()) {
+	ids := p.groupTensors(key.Stage, key.Block)
+	if len(ids) == 0 {
+		return false, nil
+	}
+	b := p.built
+	prevMech := p.inUse[key]
+	if prevMech == MechD2D {
+		return false, nil
+	}
+	inflight := b.Cfg.Kind.InFlight(key.Stage, b.NumStages(), b.Cfg.Microbatches)
+	src := p.plan.Mapping[key.Stage]
+	size := b.Graph.Tensors.Get(ids[0]).Size
+
+	layouts := make([][]fabric.Part, 0, inflight)
+	for i := 0; i < inflight; i++ {
+		parts := p.planStripes(src, size)
+		if parts == nil {
+			break
+		}
+		layouts = append(layouts, parts)
+	}
+	if len(layouts) == 0 {
+		return false, nil
+	}
+	// Instances whose coexistence slot (m mod inflight) lacks a
+	// layout keep their previous mechanism; instances of the same
+	// slot never overlap in time, so they share one layout. Already
+	// converted instances (from an earlier partial pass) are skipped.
+	prevParts := make(map[tensor.ID][]fabric.Part)
+	var converted []tensor.ID
+	slotLayout := make(map[int][]fabric.Part)
+	next := 0
+	for i, id := range ids {
+		if p.plan.Act[id] == MechD2D {
+			continue
+		}
+		slot := i % inflight
+		lay, ok := slotLayout[slot]
+		if !ok {
+			if next >= len(layouts) {
+				continue
+			}
+			lay = layouts[next]
+			next++
+			slotLayout[slot] = lay
+		}
+		prevParts[id] = p.plan.Parts[id]
+		p.plan.Act[id] = MechD2D
+		p.plan.Parts[id] = lay
+		converted = append(converted, id)
+	}
+	// Return unused layouts to the budget.
+	for _, l := range layouts[next:] {
+		compaction.UnplanStripes(p.spare, l)
+	}
+	layouts = layouts[:next]
+	if len(converted) == 0 {
+		return false, nil
+	}
+	allD2D := true
+	for _, id := range ids {
+		if p.plan.Act[id] != MechD2D {
+			allD2D = false
+			break
+		}
+	}
+	if allD2D {
+		p.inUse[key] = MechD2D
+	}
+	undo := func() {
+		for _, l := range layouts {
+			compaction.UnplanStripes(p.spare, l)
+		}
+		for _, id := range converted {
+			p.plan.Act[id] = prevMech
+			if pp := prevParts[id]; pp != nil {
+				p.plan.Parts[id] = pp
+			} else {
+				delete(p.plan.Parts, id)
+			}
+		}
+		p.inUse[key] = prevMech
+	}
+	return true, undo
+}
+
+// convertToRecompute retargets a hostswap group to recomputation,
+// returning an undo closure.
+func (p *planner) convertToRecompute(key groupKey) (bool, func()) {
+	ids := p.groupTensors(key.Stage, key.Block)
+	if len(ids) == 0 {
+		return false, nil
+	}
+	prevMech := p.inUse[key]
+	for _, id := range ids {
+		p.plan.Act[id] = MechRecompute
+	}
+	p.inUse[key] = MechRecompute
+	undo := func() {
+		for _, id := range ids {
+			p.plan.Act[id] = prevMech
+		}
+		p.inUse[key] = prevMech
+	}
+	return true, undo
+}
+
+// emulate applies the plan to a fresh Built and runs it bounded.
+func (p *planner) emulate(pl *Plan) (*exec.Result, error) {
+	b, err := p.o.Build()
+	if err != nil {
+		return nil, err
+	}
+	opts, err := Apply(pl, b, p.o.Topo)
+	if err != nil {
+		return nil, err
+	}
+	p.emulations++
+	return exec.Run(*opts)
+}
+
+// swapWindows computes, per stage, how many swapped instance-sets may
+// be in flight (allocated but not yet drained) before the forward must
+// wait, and whether restores must strictly serialize behind evictions
+// (only one evicted instance fits at a time).
+func swapWindows(pl *Plan, b *pipeline.Built, topo *hw.Topology, slotOf map[tensor.ID]pipeline.SlotKey) ([]int, []bool) {
+	S := b.NumStages()
+	evictedPerMB := make([]units.Bytes, S)    // bytes leaving per microbatch (hostswap + d2d)
+	recomputedPerMB := make([]units.Bytes, S) // bytes dropped and rematerialized per microbatch
+	retainedPerMB := make([]units.Bytes, S)   // activation bytes kept resident per microbatch
+	persistent := make([]units.Bytes, S)      // resident persistent state
+	counted := make(map[pipeline.SlotKey]bool)
+	for s := 0; s < S; s++ {
+		for _, id := range b.Persistent[s] {
+			if !pl.HostPersist[id] {
+				persistent[s] += b.Graph.Tensors.Get(id).Size
+			}
+		}
+	}
+	// Use microbatch 0's slots as the representative instance set.
+	for k, acts := range b.Acts {
+		if k.Microbatch != 0 || counted[k] {
+			continue
+		}
+		counted[k] = true
+		for _, id := range acts {
+			switch m, ok := pl.Act[id]; {
+			case ok && m == MechRecompute:
+				recomputedPerMB[k.Stage] += b.Graph.Tensors.Get(id).Size
+			case ok && m != MechNone:
+				evictedPerMB[k.Stage] += b.Graph.Tensors.Get(id).Size
+			default:
+				retainedPerMB[k.Stage] += b.Graph.Tensors.Get(id).Size
+			}
+		}
+		if in, ok := b.BoundIn[k]; ok {
+			retainedPerMB[k.Stage] += b.Graph.Tensors.Get(in).Size
+		}
+	}
+	windows := make([]int, S)
+	serialize := make([]bool, S)
+	for s := 0; s < S; s++ {
+		inflight := b.Cfg.Kind.InFlight(s, S, b.Cfg.Microbatches)
+		windows[s] = inflight // no constraint when nothing is evicted
+		if evictedPerMB[s] == 0 {
+			continue
+		}
+		avail := topo.GPU.Memory - pipeline.RuntimeReserve - persistent[s] -
+			retainedPerMB[s]*units.Bytes(inflight) - 512*units.MiB
+		// A restore rematerializes the whole instance: the recomputed
+		// blocks reallocate alongside the swapped-in ones.
+		instance := evictedPerMB[s] + recomputedPerMB[s]
+		// At F(m)'s dispatch, instances m-W+1 .. m-1 may still be
+		// draining while the full current instance is resident:
+		// avail ≥ instance + (W-1)·evicted.
+		w := 1
+		if headroom := avail - instance; headroom > 0 {
+			w += int(headroom / evictedPerMB[s])
+		}
+		if w > inflight {
+			w = inflight
+		}
+		windows[s] = w
+		// A prefetching restore overlaps the preceding forward's full
+		// instance; if both cannot coexist with the drain backlog,
+		// restores must strictly follow the drains.
+		if 2*instance+units.Bytes(w-1)*evictedPerMB[s] > avail {
+			serialize[s] = true
+			windows[s] = 1
+		}
+	}
+	return windows, serialize
+}
+
+// Apply instruments a fresh Built with the plan and assembles the
+// executor options. The Built must come from the same BuildConfig the
+// plan was computed for (tensor and op IDs are positional).
+func Apply(pl *Plan, b *pipeline.Built, topo *hw.Topology) (*exec.Options, error) {
+	g := b.Graph
+	opts := &exec.Options{
+		Topo:             topo,
+		Built:            b,
+		Mapping:          pl.Mapping,
+		D2DRoutes:        make(map[graph.OpID][]fabric.Part),
+		InitiallySwapped: make(map[tensor.ID]bool),
+	}
+
+	slotOf := make(map[tensor.ID]pipeline.SlotKey)
+	for k, acts := range b.Acts {
+		for _, id := range acts {
+			slotOf[id] = k
+		}
+	}
+
+	// Activation instrumentation.
+	actIDs := make([]tensor.ID, 0, len(pl.Act))
+	for id := range pl.Act {
+		actIDs = append(actIDs, id)
+	}
+	sort.Slice(actIDs, func(i, j int) bool { return actIDs[i] < actIDs[j] })
+	swapOuts := make(map[tensor.ID]graph.OpID)
+	swapIns := make(map[tensor.ID]graph.OpID)
+	for _, id := range actIDs {
+		mech := pl.Act[id]
+		k, ok := slotOf[id]
+		if !ok {
+			return nil, fmt.Errorf("plan: tensor %d is not an activation of this build", id)
+		}
+		after := b.FwOps[k]
+		before := b.BwOps[k]
+		gate := b.PrevOnStage[before]
+		switch mech {
+		case MechRecompute:
+			fl, ok := b.RecomputeFLOPs[id]
+			if !ok {
+				return nil, fmt.Errorf("plan: tensor %d is not recomputable", id)
+			}
+			g.InstrumentRecompute(id, after, before, gate, fl)
+		case MechHostSwap:
+			pair := g.InstrumentSwap(id, after, before, gate, "h2d")
+			swapOuts[id] = pair.Out
+			swapIns[id] = pair.In
+		case MechD2D:
+			parts := pl.Parts[id]
+			if len(parts) == 0 {
+				return nil, fmt.Errorf("plan: D2D tensor %d has no stripes", id)
+			}
+			pair := g.InstrumentSwap(id, after, before, gate, "d2d")
+			opts.D2DRoutes[pair.Out] = parts
+			opts.D2DRoutes[pair.In] = parts
+			swapOuts[id] = pair.Out
+			swapIns[id] = pair.In
+		}
+	}
+
+	// Swap throttling: the forward of microbatch m+W may not start
+	// until microbatch m's swap-outs have drained — the credit scheme
+	// swap libraries use to bound in-flight evicted copies. Without it
+	// a slow PCIe drain lets evicted instances pile up and the job
+	// dies of the very OOM the swap was meant to prevent. The window
+	// W is per stage: how many evicted instance-sets fit in the memory
+	// left after the reserve, resident persistent state and retained
+	// activations.
+	windows, serialize := swapWindows(pl, b, topo, slotOf)
+	outsBySlot := make(map[pipeline.SlotKey][]graph.OpID)
+	for id, out := range swapOuts {
+		k := slotOf[id]
+		outsBySlot[k] = append(outsBySlot[k], out)
+		w := windows[k.Stage]
+		next := pipeline.SlotKey{Stage: k.Stage, Microbatch: k.Microbatch + w}
+		if fw, ok := b.FwOps[next]; ok {
+			g.AddDep(fw, out)
+		}
+	}
+	// Strict mode: the swap-in restoring microbatch m may only begin
+	// once the forward instance just ahead of B(m) in the stage order
+	// has fully drained, keeping a single evicted instance resident.
+	for id, in := range swapIns {
+		k := slotOf[id]
+		if !serialize[k.Stage] {
+			continue
+		}
+		prev := b.PrevOnStage[b.BwOps[k]]
+		if prev < 0 || g.Op(prev).Kind != graph.Forward {
+			continue
+		}
+		prevSlot := pipeline.SlotKey{Stage: k.Stage, Microbatch: g.Op(prev).Microbatch}
+		for _, out := range outsBySlot[prevSlot] {
+			g.AddDep(in, out)
+		}
+	}
+
+	// Persistent host-parking: swap in around each use.
+	persIDs := make([]tensor.ID, 0, len(pl.HostPersist))
+	for id := range pl.HostPersist {
+		persIDs = append(persIDs, id)
+	}
+	sort.Slice(persIDs, func(i, j int) bool { return persIDs[i] < persIDs[j] })
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	live := g.Analyze(order)
+	for _, id := range persIDs {
+		opts.InitiallySwapped[id] = true
+		var prevOut graph.OpID = -1
+		for _, u := range live.Uses[id] {
+			gate := b.PrevOnStage[u.Op]
+			in := g.InstrumentSwapIn(id, u.Op, gate, "h2d")
+			if prevOut >= 0 {
+				// A restore may only begin once the previous
+				// eviction has drained the tensor to the host.
+				g.AddDep(in, prevOut)
+			}
+			prevOut = g.InstrumentSwapOut(id, u.Op, "h2d")
+		}
+	}
+
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: instrumented graph invalid: %w", err)
+	}
+	return opts, nil
+}

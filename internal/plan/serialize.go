@@ -1,0 +1,58 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mpress/internal/fabric"
+	"mpress/internal/tensor"
+)
+
+// fileVersion guards the serialized plan format.
+const fileVersion = 1
+
+// planFile is the on-disk representation of a Plan. MPress Static runs
+// offline (paper Sec. III-B), so its output — the memory-saving plan —
+// is a persistable artifact that the runtime loads for the actual
+// multi-day training job.
+type planFile struct {
+	Version int    `json:"version"`
+	Job     string `json:"job,omitempty"`
+	Plan    *Plan  `json:"plan"`
+}
+
+// Save writes the plan as JSON. job is a free-form label recorded with
+// the plan (model/topology/batch fingerprint); plans are positional —
+// valid only for a Built from the same BuildConfig — so the label is
+// the caller's way to catch mismatched reuse.
+func (p *Plan) Save(w io.Writer, job string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(planFile{Version: fileVersion, Job: job, Plan: p})
+}
+
+// Load reads a plan saved with Save, returning the plan and its job
+// label.
+func Load(r io.Reader) (*Plan, string, error) {
+	var f planFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, "", fmt.Errorf("plan: decode: %w", err)
+	}
+	if f.Version != fileVersion {
+		return nil, "", fmt.Errorf("plan: unsupported file version %d (want %d)", f.Version, fileVersion)
+	}
+	if f.Plan == nil {
+		return nil, "", fmt.Errorf("plan: file has no plan")
+	}
+	if f.Plan.Act == nil {
+		f.Plan.Act = make(map[tensor.ID]Mechanism)
+	}
+	if f.Plan.Parts == nil {
+		f.Plan.Parts = make(map[tensor.ID][]fabric.Part)
+	}
+	if f.Plan.HostPersist == nil {
+		f.Plan.HostPersist = make(map[tensor.ID]bool)
+	}
+	return f.Plan, f.Job, nil
+}

@@ -1,0 +1,101 @@
+package plan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mpress/internal/exec"
+	"mpress/internal/hw"
+	"mpress/internal/pipeline"
+)
+
+func TestPlanSaveLoadRoundTrip(t *testing.T) {
+	build := smallJob(t, pipeline.PipeDream)
+	peaks := measure(t, build, hw.DGX1())
+	topo := topoWithCapacity(capacityBetween(t, peaks))
+	original, err := Compute(Options{Topo: topo, Build: build, Allowed: AllMechanisms()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := original.Save(&buf, "smalljob@test"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, job, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job != "smalljob@test" {
+		t.Errorf("job label = %q", job)
+	}
+	if len(loaded.Act) != len(original.Act) {
+		t.Fatalf("acts: %d vs %d", len(loaded.Act), len(original.Act))
+	}
+	for id, mech := range original.Act {
+		if loaded.Act[id] != mech {
+			t.Fatalf("tensor %d: %v vs %v", id, mech, loaded.Act[id])
+		}
+	}
+	for id, parts := range original.Parts {
+		lp := loaded.Parts[id]
+		if len(lp) != len(parts) {
+			t.Fatalf("tensor %d stripes differ", id)
+		}
+		for i := range parts {
+			if lp[i] != parts[i] {
+				t.Fatalf("tensor %d stripe %d: %+v vs %+v", id, i, parts[i], lp[i])
+			}
+		}
+	}
+	if len(loaded.Mapping) != len(original.Mapping) {
+		t.Fatal("mapping lost")
+	}
+
+	// The loaded plan must drive a run identically to the original.
+	runWith := func(pl *Plan) *exec.Result {
+		b, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts, err := Apply(pl, b, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exec.Run(*opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := runWith(original), runWith(loaded)
+	if r1.Duration != r2.Duration {
+		t.Errorf("durations differ: %v vs %v", r1.Duration, r2.Duration)
+	}
+	if (r1.OOM == nil) != (r2.OOM == nil) {
+		t.Error("OOM outcomes differ")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, _, err := Load(strings.NewReader(`{"version": 99, "plan": {}}`)); err == nil {
+		t.Error("future version accepted")
+	}
+	if _, _, err := Load(strings.NewReader(`{"version": 1}`)); err == nil {
+		t.Error("empty file accepted")
+	}
+}
+
+func TestLoadFillsNilMaps(t *testing.T) {
+	pl, _, err := Load(strings.NewReader(`{"version": 1, "plan": {"Mapping": [0, 1]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Act == nil || pl.Parts == nil || pl.HostPersist == nil {
+		t.Error("maps must be usable after load")
+	}
+}

@@ -1,0 +1,196 @@
+package plan
+
+import (
+	"testing"
+
+	"mpress/internal/exec"
+	"mpress/internal/fabric"
+	"mpress/internal/graph"
+	"mpress/internal/hw"
+	"mpress/internal/pipeline"
+	"mpress/internal/tensor"
+	"mpress/internal/units"
+)
+
+// buildForWindows creates a Built and a plan that host-swaps every
+// block activation of stage 0.
+func buildForWindows(t *testing.T) (*pipeline.Built, *Plan) {
+	t.Helper()
+	build := smallJob(t, pipeline.DAPPLE)
+	b, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := &Plan{
+		Mapping:     exec.IdentityMapping(b.NumStages()),
+		Act:         make(map[tensor.ID]Mechanism),
+		Parts:       make(map[tensor.ID][]fabric.Part),
+		HostPersist: make(map[tensor.ID]bool),
+	}
+	for m := 0; m < b.TotalMicrobatches; m++ {
+		k := pipeline.SlotKey{Stage: 0, Microbatch: m}
+		for _, id := range b.Acts[k] {
+			if _, ok := b.RecomputeFLOPs[id]; ok {
+				pl.Act[id] = MechHostSwap
+			}
+		}
+	}
+	return b, pl
+}
+
+func slotIndex(b *pipeline.Built) map[tensor.ID]pipeline.SlotKey {
+	out := make(map[tensor.ID]pipeline.SlotKey)
+	for k, acts := range b.Acts {
+		for _, id := range acts {
+			out[id] = k
+		}
+	}
+	return out
+}
+
+func TestSwapWindowsTightCapacitySerializes(t *testing.T) {
+	b, pl := buildForWindows(t)
+	topo := hw.DGX1()
+	// Shrink capacity to barely above one instance: restores must
+	// serialize and the window collapses to 1.
+	var persistent units.Bytes
+	for _, id := range b.Persistent[0] {
+		if !pl.HostPersist[id] {
+			persistent += b.Graph.Tensors.Get(id).Size
+		}
+	}
+	var instance units.Bytes
+	k := pipeline.SlotKey{Stage: 0, Microbatch: 0}
+	for _, id := range b.Acts[k] {
+		if _, ok := pl.Act[id]; ok {
+			instance += b.Graph.Tensors.Get(id).Size
+		}
+	}
+	topo.GPU.Memory = pipeline.RuntimeReserve + persistent + instance + units.GB(1)
+	windows, serialize := swapWindows(pl, b, topo, slotIndex(b))
+	if windows[0] != 1 {
+		t.Errorf("tight capacity window = %d, want 1", windows[0])
+	}
+	if !serialize[0] {
+		t.Error("tight capacity must serialize restores")
+	}
+}
+
+func TestSwapWindowsAmpleCapacity(t *testing.T) {
+	b, pl := buildForWindows(t)
+	topo := hw.DGX1()
+	topo.GPU.Memory = 512 * units.GiB
+	windows, serialize := swapWindows(pl, b, topo, slotIndex(b))
+	inflight := b.Cfg.Kind.InFlight(0, b.NumStages(), b.Cfg.Microbatches)
+	if windows[0] != inflight {
+		t.Errorf("ample capacity window = %d, want in-flight %d", windows[0], inflight)
+	}
+	if serialize[0] {
+		t.Error("ample capacity must not serialize")
+	}
+}
+
+func TestSwapWindowsNoEvictionsUnconstrained(t *testing.T) {
+	b, _ := buildForWindows(t)
+	empty := &Plan{
+		Mapping:     exec.IdentityMapping(b.NumStages()),
+		Act:         make(map[tensor.ID]Mechanism),
+		Parts:       make(map[tensor.ID][]fabric.Part),
+		HostPersist: make(map[tensor.ID]bool),
+	}
+	windows, serialize := swapWindows(empty, b, hw.DGX1(), slotIndex(b))
+	for s, w := range windows {
+		inflight := b.Cfg.Kind.InFlight(s, b.NumStages(), b.Cfg.Microbatches)
+		if w != inflight || serialize[s] {
+			t.Errorf("stage %d: window %d serialize %v with no evictions", s, w, serialize[s])
+		}
+	}
+}
+
+func TestApplyRejectsBadPlans(t *testing.T) {
+	build := smallJob(t, pipeline.DAPPLE)
+	b, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := hw.DGX1()
+
+	// A D2D assignment without stripes must be rejected.
+	var act tensor.ID = -1
+	for id := range b.RecomputeFLOPs {
+		act = id
+		break
+	}
+	bad := &Plan{
+		Mapping: exec.IdentityMapping(b.NumStages()),
+		Act:     map[tensor.ID]Mechanism{act: MechD2D},
+		Parts:   map[tensor.ID][]fabric.Part{},
+	}
+	if _, err := Apply(bad, b, topo); err == nil {
+		t.Error("D2D without stripes accepted")
+	}
+
+	// A persistent tensor assigned an activation mechanism must be
+	// rejected (it has no slot).
+	b2, _ := build()
+	bad2 := &Plan{
+		Mapping: exec.IdentityMapping(b2.NumStages()),
+		Act:     map[tensor.ID]Mechanism{b2.Persistent[0][0]: MechRecompute},
+		Parts:   map[tensor.ID][]fabric.Part{},
+	}
+	if _, err := Apply(bad2, b2, topo); err == nil {
+		t.Error("persistent tensor as activation accepted")
+	}
+}
+
+func TestApplyEmptyPlanIsIdentityRun(t *testing.T) {
+	build := smallJob(t, pipeline.DAPPLE)
+	b, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &Plan{
+		Mapping:     exec.IdentityMapping(b.NumStages()),
+		Act:         map[tensor.ID]Mechanism{},
+		Parts:       map[tensor.ID][]fabric.Part{},
+		HostPersist: map[tensor.ID]bool{},
+	}
+	n := b.Graph.Len()
+	opts, err := Apply(empty, b, hw.DGX1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Graph.Len() != n {
+		t.Errorf("empty plan added %d ops", b.Graph.Len()-n)
+	}
+	if len(opts.D2DRoutes) != 0 || len(opts.InitiallySwapped) != 0 {
+		t.Error("empty plan produced routes")
+	}
+}
+
+func TestApplyInstrumentsAllMechanisms(t *testing.T) {
+	build := smallJob(t, pipeline.PipeDream)
+	peaks := measure(t, build, hw.DGX1())
+	topo := topoWithCapacity(capacityBetween(t, peaks))
+	pl, err := Compute(Options{Topo: topo, Build: build, Allowed: AllMechanisms()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := build()
+	opts, err := Apply(pl, b, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var swapOps, d2dRoutes int
+	for _, op := range b.Graph.Ops() {
+		if op.Kind == graph.SwapOut || op.Kind == graph.SwapIn {
+			swapOps++
+		}
+	}
+	d2dRoutes = len(opts.D2DRoutes)
+	actCount := len(pl.Act) + len(pl.HostPersist)
+	if actCount > 0 && swapOps == 0 {
+		t.Error("plan with assignments produced no swap ops")
+	}
+	_ = d2dRoutes
+}

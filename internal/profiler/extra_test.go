@@ -1,0 +1,67 @@
+package profiler
+
+import (
+	"testing"
+
+	"mpress/internal/hw"
+	"mpress/internal/pipeline"
+	"mpress/internal/units"
+)
+
+// TestWindowsAreOrderedAndNonOverlapping: a tensor's idle windows
+// follow execution order and never overlap.
+func TestWindowsAreOrderedAndNonOverlapping(t *testing.T) {
+	b := buildTiny(t)
+	p, err := Collect(hw.DGX1(), b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range p.Stats {
+		for i := 1; i < len(st.Windows); i++ {
+			if st.Windows[i].Gap < 0 {
+				t.Fatalf("negative gap in %v", st.Windows)
+			}
+		}
+	}
+}
+
+// TestProfileDurationMatchesRun: the profile's duration is the full
+// unbounded run.
+func TestProfileDurationMatchesRun(t *testing.T) {
+	b := buildTiny(t)
+	p, err := Collect(hw.DGX1(), b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every op span must fit inside the profiled duration.
+	for i, sp := range p.Spans {
+		if units.Duration(sp.End) > p.Duration {
+			t.Fatalf("op %d ends at %v after duration %v", i, sp.End, p.Duration)
+		}
+	}
+}
+
+// TestStagePeaksFollowMapping: profiling under a permuted mapping
+// reports the same per-stage peaks (peaks belong to stages, not GPUs).
+func TestStagePeaksFollowMapping(t *testing.T) {
+	b1 := buildTiny(t)
+	p1, err := Collect(hw.DGX1(), b1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := buildTiny(t)
+	p2, err := Collect(hw.DGX1(), b2, []hw.DeviceID{3, 2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range p1.StagePeak {
+		a, c := p1.StagePeak[s], p2.StagePeak[s]
+		// Timing differs slightly across mappings (different links),
+		// so allow small variation but not stage/GPU confusion.
+		lo, hi := float64(a)*0.9, float64(a)*1.1
+		if float64(c) < lo || float64(c) > hi {
+			t.Errorf("stage %d peak moved: %v vs %v", s, a, c)
+		}
+	}
+	_ = pipeline.RuntimeReserve
+}

@@ -1,0 +1,115 @@
+// Package sim provides a small deterministic discrete-event simulation
+// kernel: an event loop ordered by (time, insertion sequence) plus the
+// serial resources the training simulator builds on — FIFO queues for
+// GPU compute/copy streams and lane timelines for interconnect links.
+//
+// Determinism is load-bearing: ties are broken by insertion order, so a
+// simulation with identical inputs always produces identical timings,
+// and tests can assert exact values.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"mpress/internal/units"
+)
+
+// Time is the simulated clock, in nanoseconds since simulation start.
+type Time = units.Duration
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is one simulation instance. The zero value is not usable; call New.
+type Sim struct {
+	now     Time
+	seq     int64
+	events  eventHeap
+	stopped bool
+	// executed counts processed events, exposed for tests and for the
+	// runaway-guard in Run.
+	executed int64
+	// MaxEvents aborts Run (with a panic) if exceeded; zero means the
+	// default of 200M events. It exists to turn accidental infinite
+	// event loops into diagnosable failures.
+	MaxEvents int64
+}
+
+// New returns a simulation positioned at time zero.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Executed returns the number of events processed so far.
+func (s *Sim) Executed() int64 { return s.executed }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (t < Now) panics: it always indicates a modelling bug.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (s *Sim) After(d units.Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	s.At(s.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes. Pending
+// events remain queued.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run processes events until none remain (or Stop is called) and
+// returns the final simulated time.
+func (s *Sim) Run() Time {
+	max := s.MaxEvents
+	if max == 0 {
+		max = 200_000_000
+	}
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		s.executed++
+		if s.executed > max {
+			panic(fmt.Sprintf("sim: exceeded %d events at t=%v — runaway event loop?", max, s.now))
+		}
+		e.fn()
+	}
+	return s.now
+}
+
+// Pending returns the number of queued events, for tests.
+func (s *Sim) Pending() int { return len(s.events) }

@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"testing"
+
+	"mpress/internal/units"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	end := s.Run()
+	if end != 30 {
+		t.Errorf("end = %v, want 30", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTieBreakBySubmission(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(5, func() { got = append(got, 1) })
+	s.At(5, func() { got = append(got, 2) })
+	s.At(5, func() { got = append(got, 3) })
+	s.Run()
+	for i, want := range []int{1, 2, 3} {
+		if got[i] != want {
+			t.Fatalf("tie order %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var endTimes []Time
+	s.At(10, func() {
+		s.After(5, func() { endTimes = append(endTimes, s.Now()) })
+	})
+	s.Run()
+	if len(endTimes) != 1 || endTimes[0] != 15 {
+		t.Errorf("nested event at %v, want [15]", endTimes)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative delay")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	ran := 0
+	s.At(1, func() { ran++; s.Stop() })
+	s.At(2, func() { ran++ })
+	s.Run()
+	if ran != 1 {
+		t.Errorf("ran %d events, want 1", ran)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestRunawayGuard(t *testing.T) {
+	s := New()
+	s.MaxEvents = 100
+	var loop func()
+	loop = func() { s.After(1, loop) }
+	s.After(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected runaway-guard panic")
+		}
+	}()
+	s.Run()
+}
+
+func TestQueueSerializes(t *testing.T) {
+	s := New()
+	q := NewQueue(s, "compute")
+	type span struct{ start, end Time }
+	var spans []span
+	record := func(start, end Time) { spans = append(spans, span{start, end}) }
+	s.At(0, func() {
+		q.Submit(100, record)
+		q.Submit(50, record)
+	})
+	s.At(120, func() {
+		q.Submit(10, record)
+	})
+	s.Run()
+	want := []span{{0, 100}, {100, 150}, {150, 160}}
+	if len(spans) != len(want) {
+		t.Fatalf("spans = %v", spans)
+	}
+	for i := range want {
+		if spans[i] != want[i] {
+			t.Errorf("span[%d] = %v, want %v", i, spans[i], want[i])
+		}
+	}
+	if q.Tasks() != 3 {
+		t.Errorf("tasks = %d", q.Tasks())
+	}
+	if q.BusyTime() != 160 {
+		t.Errorf("busy = %v, want 160", q.BusyTime())
+	}
+	if u := q.Utilization(320); u != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestQueueIdleGap(t *testing.T) {
+	s := New()
+	q := NewQueue(s, "q")
+	var first, second Time
+	s.At(0, func() { q.Submit(10, func(st, _ Time) { first = st }) })
+	s.At(50, func() { q.Submit(10, func(st, _ Time) { second = st }) })
+	s.Run()
+	if first != 0 || second != 50 {
+		t.Errorf("starts = %v, %v; want 0, 50", first, second)
+	}
+}
+
+func TestQueueNegativeDurationPanics(t *testing.T) {
+	s := New()
+	q := NewQueue(s, "q")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	q.Submit(-1, nil)
+}
+
+func TestLaneSetSingle(t *testing.T) {
+	s := New()
+	l := NewLaneSet(s, "pcie", 1)
+	bw := units.GBps(10) // 10 bytes per ns
+	start, end := l.Reserve(units.Bytes(1000), bw, 5)
+	if start != 0 {
+		t.Errorf("start = %v", start)
+	}
+	if end != 105 { // 5 latency + 1000B/10Bns
+		t.Errorf("end = %v, want 105", end)
+	}
+	// Second reservation queues behind the first.
+	start2, end2 := l.Reserve(units.Bytes(1000), bw, 5)
+	if start2 != 105 || end2 != 210 {
+		t.Errorf("second = %v..%v, want 105..210", start2, end2)
+	}
+	if l.Moved() != 2000 {
+		t.Errorf("moved = %d", l.Moved())
+	}
+}
+
+func TestLaneSetStripedSpeedup(t *testing.T) {
+	s := New()
+	bw := units.GBps(25)
+	size := 100 * units.MiB
+	single := NewLaneSet(s, "one", 1)
+	_, endSingle := single.Reserve(size, bw, 0)
+	striped := NewLaneSet(s, "four", 4)
+	_, endStriped := striped.ReserveStriped(size, 4, bw, 0)
+	ratio := float64(endSingle) / float64(endStriped)
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("4-lane striping speedup = %.2f, want ≈4", ratio)
+	}
+}
+
+func TestLaneSetStripedRemainder(t *testing.T) {
+	s := New()
+	l := NewLaneSet(s, "l", 3)
+	// 10 bytes across 3 lanes: blocks of 4,3,3. All bytes must arrive.
+	l.ReserveStriped(10, 3, units.GBps(1), 0)
+	if l.Moved() != 10 {
+		t.Errorf("moved = %d, want 10", l.Moved())
+	}
+}
+
+func TestLaneSetPicksEarliestLane(t *testing.T) {
+	s := New()
+	l := NewLaneSet(s, "l", 2)
+	bw := units.GBps(1)   // 1 byte per ns
+	l.Reserve(100, bw, 0) // lane 0 busy till 100
+	l.Reserve(10, bw, 0)  // lane 1 busy till 10
+	start, _ := l.Reserve(10, bw, 0)
+	if start != 10 {
+		t.Errorf("third transfer starts at %v, want 10 (earliest lane)", start)
+	}
+}
+
+func TestLaneSetNextFree(t *testing.T) {
+	s := New()
+	l := NewLaneSet(s, "l", 2)
+	if l.NextFree() != 0 {
+		t.Errorf("NextFree on idle = %v", l.NextFree())
+	}
+	l.Reserve(100, units.GBps(1), 0)
+	if l.NextFree() != 0 {
+		t.Error("one lane still free")
+	}
+	l.Reserve(50, units.GBps(1), 0)
+	if l.NextFree() != 50 {
+		t.Errorf("NextFree = %v, want 50", l.NextFree())
+	}
+}
+
+func TestLaneSetBadWidthPanics(t *testing.T) {
+	s := New()
+	l := NewLaneSet(s, "l", 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for stripe width > lanes")
+		}
+	}()
+	l.ReserveStriped(10, 3, units.GBps(1), 0)
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Time {
+		s := New()
+		q := NewQueue(s, "q")
+		l := NewLaneSet(s, "l", 4)
+		for i := 0; i < 20; i++ {
+			d := units.Duration(i * 7 % 13)
+			s.At(Time(i), func() {
+				q.Submit(d*3+1, func(_, _ Time) {
+					l.ReserveStriped(units.Bytes(1000*(int(d)+1)), 2, units.GBps(5), 2)
+				})
+			})
+		}
+		return s.Run()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("two identical runs ended at %v and %v", a, b)
+	}
+}

@@ -1,0 +1,133 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpress/internal/units"
+)
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		Activation:     "activation",
+		Parameter:      "parameter",
+		Gradient:       "gradient",
+		OptimizerState: "optimizer",
+		Workspace:      "workspace",
+		Class(99):      "Class(99)",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func TestClassRecomputable(t *testing.T) {
+	if !Activation.Recomputable() {
+		t.Error("activations must be recomputable")
+	}
+	for _, c := range []Class{Parameter, Gradient, OptimizerState, Workspace} {
+		if c.Recomputable() {
+			t.Errorf("%v must not be recomputable", c)
+		}
+	}
+}
+
+func TestDTypeSize(t *testing.T) {
+	if FP32.Size() != 4 || FP16.Size() != 2 || BF16.Size() != 2 {
+		t.Errorf("dtype sizes wrong: fp32=%d fp16=%d bf16=%d", FP32.Size(), FP16.Size(), BF16.Size())
+	}
+	if FP16.String() != "fp16" || FP32.String() != "fp32" || BF16.String() != "bf16" {
+		t.Error("dtype names wrong")
+	}
+}
+
+func TestRegistryAddGet(t *testing.T) {
+	r := NewRegistry()
+	id1 := r.Add(Tensor{Name: "a", Class: Activation, Size: units.MB(216), Stage: 0})
+	id2 := r.Add(Tensor{Name: "b", Class: Parameter, Size: units.MB(100), Stage: 1})
+	if id1 != 0 || id2 != 1 {
+		t.Fatalf("ids = %d, %d; want 0, 1", id1, id2)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if got := r.Get(id1); got.Name != "a" || got.ID != id1 {
+		t.Errorf("Get(%d) = %+v", id1, got)
+	}
+}
+
+func TestRegistryTotals(t *testing.T) {
+	r := NewRegistry()
+	r.Add(Tensor{Class: Activation, Size: 100})
+	r.Add(Tensor{Class: Activation, Size: 50})
+	r.Add(Tensor{Class: OptimizerState, Size: 200})
+	byClass := r.TotalByClass()
+	if byClass[Activation] != 150 {
+		t.Errorf("activation total = %d, want 150", byClass[Activation])
+	}
+	if byClass[OptimizerState] != 200 {
+		t.Errorf("optimizer total = %d, want 200", byClass[OptimizerState])
+	}
+	if r.TotalBytes() != 350 {
+		t.Errorf("TotalBytes = %d, want 350", r.TotalBytes())
+	}
+}
+
+func TestByStageSortedBySize(t *testing.T) {
+	r := NewRegistry()
+	r.Add(Tensor{Name: "small", Stage: 2, Size: 10})
+	r.Add(Tensor{Name: "big", Stage: 2, Size: 1000})
+	r.Add(Tensor{Name: "other", Stage: 1, Size: 500})
+	r.Add(Tensor{Name: "mid", Stage: 2, Size: 100})
+	ids := r.ByStage(2)
+	if len(ids) != 3 {
+		t.Fatalf("got %d tensors for stage 2, want 3", len(ids))
+	}
+	names := []string{r.Get(ids[0]).Name, r.Get(ids[1]).Name, r.Get(ids[2]).Name}
+	want := []string{"big", "mid", "small"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("ByStage order[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+	if got := r.ByStage(7); got != nil {
+		t.Errorf("ByStage(7) = %v, want nil", got)
+	}
+}
+
+func TestByStageTiesStable(t *testing.T) {
+	r := NewRegistry()
+	a := r.Add(Tensor{Name: "a", Stage: 0, Size: 64})
+	b := r.Add(Tensor{Name: "b", Stage: 0, Size: 64})
+	ids := r.ByStage(0)
+	if ids[0] != a || ids[1] != b {
+		t.Errorf("equal-size tensors must keep ID order, got %v", ids)
+	}
+}
+
+func TestLiveInterval(t *testing.T) {
+	l := LiveInterval{Start: units.Milliseconds(2), End: units.Milliseconds(80)}
+	if l.Length() != units.Milliseconds(78) {
+		t.Errorf("Length = %v, want 78ms", l.Length())
+	}
+}
+
+func TestRegistryTotalsProperty(t *testing.T) {
+	// The sum over classes always equals the overall total.
+	f := func(sizes []uint16) bool {
+		r := NewRegistry()
+		for i, s := range sizes {
+			r.Add(Tensor{Class: Class(i % 5), Size: units.Bytes(s)})
+		}
+		var sum units.Bytes
+		for _, v := range r.TotalByClass() {
+			sum += v
+		}
+		return sum == r.TotalBytes()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

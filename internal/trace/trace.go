@@ -1,0 +1,212 @@
+// Package trace renders a simulated training run as an execution
+// timeline: the classic pipeline diagram of the paper's Fig. 1 as
+// ASCII art, and Chrome's trace-event JSON (load in
+// chrome://tracing or Perfetto) for interactive inspection of how
+// compute, transfers, swaps and recomputation interleave.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mpress/internal/exec"
+	"mpress/internal/graph"
+	"mpress/internal/pipeline"
+	"mpress/internal/units"
+)
+
+// Event is one rendered timeline span.
+type Event struct {
+	// Name is the operator name, Kind its operator kind.
+	Name string
+	Kind graph.OpKind
+	// Stage is the pipeline stage (lane) the event belongs to.
+	Stage int
+	// Microbatch is the microbatch index (-1 for per-iteration work).
+	Microbatch int
+	Start      units.Duration
+	End        units.Duration
+}
+
+// Duration returns the event's length.
+func (e Event) Duration() units.Duration { return e.End - e.Start }
+
+// Timeline is the ordered set of events of one run.
+type Timeline struct {
+	Events []Event
+	// Span is the run's total duration.
+	Span units.Duration
+	// Stages is the stage count (number of lanes).
+	Stages int
+}
+
+// Collect extracts the timeline from an executed run. Zero-length
+// bookkeeping events (drops) are kept: they mark eviction points.
+func Collect(b *pipeline.Built, res *exec.Result) *Timeline {
+	t := &Timeline{Stages: b.NumStages(), Span: res.Duration}
+	for i, op := range b.Graph.Ops() {
+		sp := res.Spans[i]
+		if sp.End == 0 && sp.Start == 0 && op.Kind != graph.Drop {
+			// Never ran (e.g. the run died of OOM first) — keep the
+			// timeline to what actually happened.
+			if i != 0 {
+				continue
+			}
+		}
+		t.Events = append(t.Events, Event{
+			Name:       op.Name,
+			Kind:       op.Kind,
+			Stage:      op.Stage,
+			Microbatch: op.Microbatch,
+			Start:      units.Duration(sp.Start),
+			End:        units.Duration(sp.End),
+		})
+	}
+	sort.SliceStable(t.Events, func(a, b int) bool {
+		if t.Events[a].Stage != t.Events[b].Stage {
+			return t.Events[a].Stage < t.Events[b].Stage
+		}
+		return t.Events[a].Start < t.Events[b].Start
+	})
+	return t
+}
+
+// chromeEvent is the trace-event JSON schema (phase "X" = complete).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// lane buckets separate op classes within a stage's row group so
+// overlapping compute and swap traffic render on distinct tracks.
+func lane(k graph.OpKind) (tid int, track string) {
+	switch k {
+	case graph.Forward, graph.Backward, graph.OptimizerStep, graph.Recompute:
+		return 0, "compute"
+	case graph.Transfer:
+		return 1, "boundary"
+	case graph.SwapOut, graph.SwapIn, graph.Drop:
+		return 2, "compaction"
+	default:
+		return 3, "other"
+	}
+}
+
+// WriteChrome writes the timeline as Chrome trace-event JSON.
+func (t *Timeline) WriteChrome(w io.Writer) error {
+	var evs []chromeEvent
+	for _, e := range t.Events {
+		tid, track := lane(e.Kind)
+		evs = append(evs, chromeEvent{
+			Name: e.Name,
+			Cat:  e.Kind.String(),
+			Ph:   "X",
+			Ts:   float64(e.Start) / 1e3,
+			Dur:  float64(e.Duration()) / 1e3,
+			Pid:  e.Stage,
+			Tid:  tid,
+			Args: map[string]string{
+				"track":      track,
+				"microbatch": fmt.Sprintf("%d", e.Microbatch),
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]interface{}{"traceEvents": evs})
+}
+
+// gantt configuration.
+const ganttWidth = 100
+
+// symbolFor picks the diagram glyph: digits for forward microbatches
+// (like the paper's Fig. 1 black boxes), letters for backward, and
+// punctuation for the memory machinery.
+func symbolFor(e Event) byte {
+	switch e.Kind {
+	case graph.Forward:
+		return byte('0' + e.Microbatch%10)
+	case graph.Backward:
+		return byte('a' + e.Microbatch%26)
+	case graph.OptimizerStep:
+		return 'U'
+	case graph.Recompute:
+		return 'r'
+	case graph.SwapOut, graph.SwapIn:
+		return '~'
+	case graph.Transfer:
+		return '-'
+	default:
+		return '.'
+	}
+}
+
+// WriteGantt renders the per-stage compute timeline as ASCII art —
+// the paper's Fig. 1 diagram regenerated from an actual run. Only
+// compute-stream events are drawn (transfers and swaps overlap them).
+func (t *Timeline) WriteGantt(w io.Writer) {
+	if t.Span <= 0 {
+		fmt.Fprintln(w, "(empty timeline)")
+		return
+	}
+	scale := float64(ganttWidth) / float64(t.Span)
+	for s := 0; s < t.Stages; s++ {
+		row := []byte(strings.Repeat(" ", ganttWidth))
+		for _, e := range t.Events {
+			if e.Stage != s || !e.Kind.Compute() {
+				continue
+			}
+			from := int(float64(e.Start) * scale)
+			to := int(float64(e.End) * scale)
+			if to >= ganttWidth {
+				to = ganttWidth - 1
+			}
+			sym := symbolFor(e)
+			for x := from; x <= to; x++ {
+				row[x] = sym
+			}
+		}
+		fmt.Fprintf(w, "stage %d |%s|\n", s, string(row))
+	}
+	fmt.Fprintf(w, "         0%*s\n", ganttWidth, t.Span.String())
+	fmt.Fprintln(w, "digits: forward microbatch   letters: backward   r: recompute   U: optimizer")
+}
+
+// Stats summarizes the timeline by op kind: total busy time and count.
+type Stats struct {
+	Kind  graph.OpKind
+	Count int
+	Busy  units.Duration
+}
+
+// Summarize aggregates per-kind activity, ordered by kind.
+func (t *Timeline) Summarize() []Stats {
+	agg := map[graph.OpKind]*Stats{}
+	for _, e := range t.Events {
+		s, ok := agg[e.Kind]
+		if !ok {
+			s = &Stats{Kind: e.Kind}
+			agg[e.Kind] = s
+		}
+		s.Count++
+		s.Busy += e.Duration()
+	}
+	var kinds []graph.OpKind
+	for k := range agg {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	out := make([]Stats, 0, len(kinds))
+	for _, k := range kinds {
+		out = append(out, *agg[k])
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{KiB, "1.00KiB"},
+		{MiB + MiB/2, "1.50MiB"},
+		{32 * GiB, "32.00GiB"},
+		{2 * TiB, "2.00TiB"},
+		{-MiB, "-1.00MiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bytes
+	}{
+		{"1024", 1024},
+		{"1KiB", KiB},
+		{"1.5MB", MiB + MiB/2},
+		{"32GB", 32 * GiB},
+		{"32GiB", 32 * GiB},
+		{"216MB", 216 * MiB},
+		{" 2 TB ", 2 * TiB},
+		{"7B", 7},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBytesErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "GB", "1.2.3MB"} {
+		if _, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q): expected error", in)
+		}
+	}
+}
+
+func TestParseBytesRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		b := Bytes(n)
+		got, err := ParseBytes(b.String())
+		if err != nil {
+			return false
+		}
+		// Formatting truncates to two decimals, so allow 1% error.
+		diff := got - b
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= b/100+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		in   Duration
+		want string
+	}{
+		{0, "0ns"},
+		{500, "500ns"},
+		{3 * Microsecond, "3.00us"},
+		{Milliseconds(4.5), "4.50ms"},
+		{2 * Second, "2.000s"},
+		{-Millisecond, "-1.00ms"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Duration(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBandwidthTransferTime(t *testing.T) {
+	bw := GBps(25) // one NVLink 2.0 lane direction
+	if got := bw.TransferTime(Bytes(25e9)); got != Second {
+		t.Errorf("25GB at 25GB/s = %v, want 1s", got)
+	}
+	if got := bw.TransferTime(0); got != 0 {
+		t.Errorf("0 bytes = %v, want 0", got)
+	}
+	if got := Bandwidth(0).TransferTime(MiB); got != MaxDuration {
+		t.Errorf("zero bandwidth should give MaxDuration, got %v", got)
+	}
+}
+
+func TestTransferTimeMonotonic(t *testing.T) {
+	bw := GBps(12)
+	f := func(a, b uint32) bool {
+		x, y := Bytes(a), Bytes(b)
+		if x > y {
+			x, y = y, x
+		}
+		return bw.TransferTime(x) <= bw.TransferTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	r := TFLOPS(100)
+	if got := r.ComputeTime(FLOPs(100e12)); got != Second {
+		t.Errorf("100 TFLOPs at 100 TFLOPS = %v, want 1s", got)
+	}
+	if got := FLOPSRate(0).ComputeTime(FLOPs(1)); got != MaxDuration {
+		t.Errorf("zero rate should give MaxDuration, got %v", got)
+	}
+}
+
+func TestFLOPsString(t *testing.T) {
+	cases := []struct {
+		in   FLOPs
+		want string
+	}{
+		{FLOPs(5e12), "5.00TFLOPs"},
+		{FLOPs(2.5e9), "2.50GFLOPs"},
+		{FLOPs(3e6), "3.00MFLOPs"},
+		{FLOPs(42), "42FLOPs"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("FLOPs(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	if MB(216).MiBf() != 216 {
+		t.Errorf("MB(216).MiBf() = %v", MB(216).MiBf())
+	}
+	if GB(32).GiBf() != 32 {
+		t.Errorf("GB(32).GiBf() = %v", GB(32).GiBf())
+	}
+	if Seconds(1.5) != Second+Second/2 {
+		t.Errorf("Seconds(1.5) = %v", Seconds(1.5))
+	}
+	if GBps(25).GBpsf() != 25 {
+		t.Errorf("GBps(25).GBpsf() = %v", GBps(25).GBpsf())
+	}
+	if TFLOPS(312).TFLOPSf() != 312 {
+		t.Errorf("TFLOPS(312).TFLOPSf() = %v", TFLOPS(312).TFLOPSf())
+	}
+}

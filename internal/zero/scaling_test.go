@@ -1,0 +1,92 @@
+package zero
+
+import (
+	"testing"
+
+	"mpress/internal/hw"
+	"mpress/internal/model"
+)
+
+// TestStepsScaleLinearly: doubling the simulated steps roughly doubles
+// the duration (steady-state, no warmup artifacts in the DP model).
+func TestStepsScaleLinearly(t *testing.T) {
+	m := gptCfg(t, "10.3B")
+	run := func(steps int) *Result {
+		r, err := Run(Config{
+			Topo: hw.DGX2(), Model: m, Prec: model.MixedAdam(),
+			Variant: ZeRO3, MicrobatchSize: 2, GradAccum: 2, Steps: steps,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	one := run(1)
+	four := run(4)
+	ratio := four.Duration.Secondsf() / one.Duration.Secondsf()
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("4 steps / 1 step = %.2f, want ≈4", ratio)
+	}
+	// Throughput is step-count independent.
+	if d := four.TFLOPS/one.TFLOPS - 1; d < -0.05 || d > 0.05 {
+		t.Errorf("TFLOPS drifted %.1f%% with step count", d*100)
+	}
+}
+
+// TestGradAccumAmortizesOptimizer: more accumulation per step means
+// the (fixed) optimizer cost amortizes and throughput rises.
+func TestGradAccumAmortizesOptimizer(t *testing.T) {
+	m := gptCfg(t, "10.3B")
+	run := func(acc int) *Result {
+		r, err := Run(Config{
+			Topo: hw.DGX1WithNVMe(), Model: m, Prec: model.MixedAdam(),
+			Variant: ZeROOffload, MicrobatchSize: 2, GradAccum: acc, Steps: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	small := run(2)
+	big := run(16)
+	if big.TFLOPS <= small.TFLOPS {
+		t.Errorf("accumulation must amortize CPU-Adam: %.1f vs %.1f",
+			big.TFLOPS, small.TFLOPS)
+	}
+}
+
+// TestLargerModelLowerThroughputWhenIOBound: on the slow-NVMe DGX-2,
+// ZeRO-Infinity's optimizer streaming grows with model size while
+// compute per parameter stays flat, so TFLOPS must not rise with size.
+func TestLargerModelLowerThroughputWhenIOBound(t *testing.T) {
+	prev := 1e18
+	for _, size := range []string{"5.3B", "10.3B", "20.4B"} {
+		r := run(t, hw.DGX2(), gptCfg(t, size), ZeROInfinity)
+		if r.OOM != nil {
+			t.Fatalf("%s: %v", size, r.OOM)
+		}
+		if r.TFLOPS > prev*1.3 {
+			t.Errorf("%s: IO-bound throughput jumped to %.1f from %.1f", size, r.TFLOPS, prev)
+		}
+		prev = r.TFLOPS
+	}
+}
+
+// TestMemoryAccountingAdditive: GPU + host + NVMe residency together
+// must cover the full persistent state for every variant.
+func TestMemoryAccountingAdditive(t *testing.T) {
+	m := gptCfg(t, "10.3B")
+	full := m.TotalParams() * model.MixedAdam().StateBytesPerParam()
+	for _, v := range []Variant{ZeRO3, ZeROOffload, ZeROInfinity} {
+		r := run(t, hw.DGX1WithNVMe(), m, v)
+		if r.OOM != nil {
+			t.Fatalf("%v: %v", v, r.OOM)
+		}
+
+		perGPUState := r.PerGPUPeak // includes checkpoints/workspace too
+		total := int64(perGPUState)*8 + int64(r.HostPeak) + int64(r.NVMePeak)
+		if total < full {
+			t.Errorf("%v: accounted %d bytes < persistent state %d", v, total, full)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package mpress_test
+
+import (
+	"testing"
+
+	"mpress"
+)
+
+func TestTrainDefaults(t *testing.T) {
+	rep, err := mpress.Train(mpress.Config{
+		Topology: mpress.DGX1(),
+		Model:    mpress.MustBert("0.35B"),
+		Schedule: mpress.PipeDream,
+		System:   mpress.SystemPlain,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("Bert-0.35B must train plainly: %v", rep.OOM)
+	}
+	if rep.TFLOPS <= 0 || rep.SamplesPerSec <= 0 || rep.Duration <= 0 {
+		t.Errorf("degenerate report: %+v", rep)
+	}
+	if len(rep.PerGPUPeak) != 8 {
+		t.Errorf("per-GPU peaks = %d entries", len(rep.PerGPUPeak))
+	}
+	if rep.Plan != nil {
+		t.Error("plain system must not carry a plan")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := mpress.Train(mpress.Config{}); err == nil {
+		t.Error("missing topology accepted")
+	}
+	bad := mpress.MustBert("0.35B")
+	bad.Layers = 0
+	if _, err := mpress.Train(mpress.Config{Topology: mpress.DGX1(), Model: bad}); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestMustVariantsPanicOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	mpress.MustBert("999B")
+}
+
+func TestSystemStrings(t *testing.T) {
+	for sys, want := range map[mpress.System]string{
+		mpress.SystemPlain:        "Pipeline",
+		mpress.SystemGPUCPUSwap:   "GPU-CPU Swap",
+		mpress.SystemRecompute:    "Recomputation",
+		mpress.SystemMPressD2D:    "MPress-D2D",
+		mpress.SystemMPress:       "MPress",
+		mpress.SystemZeRO3:        "ZeRO-3",
+		mpress.SystemZeROOffload:  "ZeRO-Offload",
+		mpress.SystemZeROInfinity: "ZeRO-Infinity",
+	} {
+		if sys.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(sys), sys.String(), want)
+		}
+	}
+}
+
+// TestHeadlineClaim checks the paper's headline end to end through the
+// public API: Bert-0.64B OOMs on plain PipeDream, and MPress trains it
+// faster than the GPU-CPU swap alternative with identical reduction.
+func TestHeadlineClaim(t *testing.T) {
+	base := mpress.Config{
+		Topology:       mpress.DGX1(),
+		Model:          mpress.MustBert("0.64B"),
+		Schedule:       mpress.PipeDream,
+		MicrobatchSize: 12,
+	}
+	plain := base
+	plain.System = mpress.SystemPlain
+	rp, err := mpress.Train(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rp.Failed() {
+		t.Fatal("plain PipeDream must OOM on Bert-0.64B at microbatch 12")
+	}
+
+	swap := base
+	swap.System = mpress.SystemGPUCPUSwap
+	rs, err := mpress.Train(swap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := base
+	full.System = mpress.SystemMPress
+	rf, err := mpress.Train(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Failed() || rf.Failed() {
+		t.Fatalf("memory-saving systems must survive: swap=%v mpress=%v", rs.OOM, rf.OOM)
+	}
+	if rf.TFLOPS <= rs.TFLOPS {
+		t.Errorf("MPress (%.1f) must beat GPU-CPU swap (%.1f)", rf.TFLOPS, rs.TFLOPS)
+	}
+	if rf.Plan == nil || rf.Mapping == nil {
+		t.Error("MPress report must carry its plan and mapping")
+	}
+}
+
+func TestZeROSystemsThroughFacade(t *testing.T) {
+	rep, err := mpress.Train(mpress.Config{
+		Topology:       mpress.DGX1WithNVMe(),
+		Model:          mpress.MustGPT("10.3B"),
+		System:         mpress.SystemZeROInfinity,
+		MicrobatchSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("ZeRO-Infinity must sustain GPT-10.3B: %v", rep.OOM)
+	}
+	if rep.HostPeak == 0 {
+		t.Error("ZeRO-Infinity must stage through host memory")
+	}
+}
+
+func TestDemand(t *testing.T) {
+	d, err := mpress.Demand(mpress.Config{
+		Topology:       mpress.DGX1(),
+		Model:          mpress.MustBert("1.67B"),
+		Schedule:       mpress.PipeDream,
+		MicrobatchSize: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 8 {
+		t.Fatalf("demand entries = %d", len(d))
+	}
+	if d[0] <= d[7] {
+		t.Error("stage-0 demand must exceed stage-7 (Fig. 2)")
+	}
+}
+
+func TestTopologyConstructorsExported(t *testing.T) {
+	for _, topo := range []*mpress.Topology{
+		mpress.DGX1(), mpress.DGX1WithNVMe(), mpress.DGX2(),
+		mpress.DGX2FastNVMe(), mpress.GraceHopper(),
+	} {
+		if err := topo.Validate(); err != nil {
+			t.Errorf("%s: %v", topo.Name, err)
+		}
+	}
+}
+
+func TestVirtualStagesThroughFacade(t *testing.T) {
+	rep, err := mpress.Train(mpress.Config{
+		Topology:       mpress.DGX1(),
+		Model:          mpress.MustBert("0.35B"),
+		Schedule:       mpress.DAPPLE,
+		System:         mpress.SystemPlain,
+		Stages:         16, // two virtual stages per GPU
+		MicrobatchSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("virtual-stage run OOMed: %v", rep.OOM)
+	}
+	if len(rep.Mapping) != 16 {
+		t.Fatalf("mapping has %d entries", len(rep.Mapping))
+	}
+	seen := map[mpress.DeviceID]int{}
+	for _, d := range rep.Mapping {
+		seen[d]++
+	}
+	for d, n := range seen {
+		if n != 2 {
+			t.Errorf("%v hosts %d stages, want 2", d, n)
+		}
+	}
+	// The planner path must refuse virtual stages explicitly.
+	if _, err := mpress.Train(mpress.Config{
+		Topology: mpress.DGX1(),
+		Model:    mpress.MustBert("0.35B"),
+		System:   mpress.SystemMPress,
+		Stages:   16,
+	}); err == nil {
+		t.Error("planner accepted virtual stages")
+	}
+}
+
+func TestGPipeThroughFacade(t *testing.T) {
+	rep, err := mpress.Train(mpress.Config{
+		Topology:       mpress.DGX1(),
+		Model:          mpress.MustBert("0.64B"),
+		Schedule:       mpress.GPipe,
+		System:         mpress.SystemMPress,
+		MicrobatchSize: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("MPress atop GPipe OOMed: %v", rep.OOM)
+	}
+	if rep.TFLOPS <= 0 {
+		t.Error("no throughput")
+	}
+}
+
+func TestFastNVMeSensitivity(t *testing.T) {
+	// DGX2FastNVMe restores ZeRO-Infinity above ZeRO-Offload — the
+	// paper's remark that with sufficient SSD bandwidth Infinity
+	// shouldn't lose.
+	run := func(topo *mpress.Topology, sys mpress.System) float64 {
+		rep, err := mpress.Train(mpress.Config{
+			Topology: topo, Model: mpress.MustGPT("20.4B"),
+			System: sys, MicrobatchSize: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed() {
+			t.Fatalf("%v OOM: %v", sys, rep.OOM)
+		}
+		return rep.TFLOPS
+	}
+	slowInf := run(mpress.DGX2(), mpress.SystemZeROInfinity)
+	fastInf := run(mpress.DGX2FastNVMe(), mpress.SystemZeROInfinity)
+	off := run(mpress.DGX2FastNVMe(), mpress.SystemZeROOffload)
+	if fastInf <= slowInf {
+		t.Errorf("faster SSDs must help Infinity: %.1f vs %.1f", fastInf, slowInf)
+	}
+	if fastInf < off {
+		t.Errorf("with healthy SSDs Infinity (%.1f) shouldn't lose to Offload (%.1f)", fastInf, off)
+	}
+}
+
+func TestReportTrafficFields(t *testing.T) {
+	rep, err := mpress.Train(mpress.Config{
+		Topology:       mpress.DGX1(),
+		Model:          mpress.MustBert("0.64B"),
+		Schedule:       mpress.PipeDream,
+		System:         mpress.SystemMPress,
+		MicrobatchSize: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NVLinkBytes == 0 {
+		t.Error("boundary traffic missing from report")
+	}
+	if rep.PCIeBytes == 0 {
+		t.Error("MPress on 0.64B parks state; PCIe traffic expected")
+	}
+}
