@@ -5,6 +5,7 @@
 //
 //	mpress-bench -list
 //	mpress-bench -exp fig7
+//	mpress-bench -exp all -jobs 4
 //	mpress-bench            # run everything
 package main
 
@@ -18,7 +19,8 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
-	exp := flag.String("exp", "", "run only the named experiment (see -list)")
+	exp := flag.String("exp", "", "run only the named experiment, or \"all\" (see -list)")
+	jobs := flag.Int("jobs", 0, "concurrent training jobs per experiment (default GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -27,6 +29,8 @@ func main() {
 		}
 		return
 	}
+
+	experiments.SetParallelism(*jobs)
 
 	run := func(e experiments.Experiment) {
 		fmt.Printf("=== %s: %s ===\n", e.Name, e.Title)
@@ -37,16 +41,24 @@ func main() {
 		fmt.Println()
 	}
 
-	if *exp != "" {
+	summary := func() {
+		st := experiments.Stats()
+		fmt.Fprintf(os.Stderr, "mpress-bench: %d jobs; plan cache: %d hits, %d misses\n",
+			st.Jobs, st.PlanCacheHits, st.PlanCacheMisses)
+	}
+
+	if *exp != "" && *exp != "all" {
 		e, ok := experiments.Lookup(*exp)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "mpress-bench: unknown experiment %q (try -list)\n", *exp)
 			os.Exit(2)
 		}
 		run(e)
+		summary()
 		return
 	}
 	for _, e := range experiments.All() {
 		run(e)
 	}
+	summary()
 }

@@ -3,19 +3,27 @@
 // material behind the paper's figures, for plotting or regression
 // tracking.
 //
+// Jobs run concurrently through the runner's worker pool (-jobs) and
+// share a fingerprint-keyed plan cache, so sweep points that differ
+// only in minibatch count reuse the computed plan. Rows are written in
+// deterministic grid order regardless of completion order.
+//
 // Usage:
 //
 //	mpress-sweep -family bert -topo dgx1 -systems plain,swap,recompute,d2d,mpress
-//	mpress-sweep -family gpt -topo dgx2 -mb 2,4 > gpt_dgx2.csv
+//	mpress-sweep -family gpt -topo dgx2 -mb 2,4 -jobs 4 > gpt_dgx2.csv
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"mpress"
 	"mpress/internal/model"
@@ -37,13 +45,29 @@ func fail(format string, args ...interface{}) {
 	os.Exit(1)
 }
 
+func parseInts(flagName, s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			fail("bad %s value %q", flagName, f)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
 func main() {
 	family := flag.String("family", "bert", "model family to sweep: bert or gpt")
 	topoName := flag.String("topo", "dgx1", "topology: dgx1, dgx1-nvme, dgx2")
 	systemsFlag := flag.String("systems", "plain,swap,recompute,d2d,mpress",
 		"comma-separated systems: plain,swap,recompute,d2d,mpress,zero3,offload,infinity")
 	mbFlag := flag.String("mb", "", "comma-separated microbatch sizes (default per family)")
+	miniFlag := flag.String("minibatches", "", "comma-separated minibatch counts (default 2)")
 	sizesFlag := flag.String("sizes", "", "comma-separated variant sizes (default: all)")
+	jobs := flag.Int("jobs", 0, "concurrent training jobs (default GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the whole sweep after this long (default none)")
+	quiet := flag.Bool("quiet", false, "suppress the progress line and summary on stderr")
 	flag.Parse()
 
 	var topo *mpress.Topology
@@ -78,14 +102,11 @@ func main() {
 
 	mbs := []int{defaultMB}
 	if *mbFlag != "" {
-		mbs = nil
-		for _, s := range strings.Split(*mbFlag, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || v <= 0 {
-				fail("bad microbatch size %q", s)
-			}
-			mbs = append(mbs, v)
-		}
+		mbs = parseInts("microbatch", *mbFlag)
+	}
+	minis := []int{0} // 0 means the Config default (2)
+	if *miniFlag != "" {
+		minis = parseInts("minibatches", *miniFlag)
 	}
 
 	var systems []mpress.System
@@ -100,55 +121,117 @@ func main() {
 		systemNames = append(systemNames, name)
 	}
 
+	// Build the full grid up front so the runner can overlap jobs and
+	// dedup plan work; points keeps the CSV row prefix per grid point.
+	type point struct {
+		size   string
+		params float64
+		sysIdx int
+		mb     int
+		mini   int
+	}
+	var cfgs []mpress.Config
+	var points []point
+	for _, size := range sizes {
+		m := variant(size)
+		for _, mini := range minis {
+			for _, mb := range mbs {
+				for i, sys := range systems {
+					cfgs = append(cfgs, mpress.Config{
+						Topology:       topo,
+						Model:          m,
+						Schedule:       schedule,
+						System:         sys,
+						MicrobatchSize: mb,
+						Minibatches:    mini,
+					})
+					points = append(points, point{size, m.Billions(), i, mb, mini})
+				}
+			}
+		}
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var done atomic.Int64
+	var r *mpress.Runner
+	r = mpress.NewRunner(mpress.RunnerOptions{
+		Workers: *jobs,
+		OnJobDone: func(jr mpress.JobResult) {
+			if *quiet {
+				return
+			}
+			n := done.Add(1)
+			hits := r.Stats().PlanCacheHits
+			fmt.Fprintf(os.Stderr, "\rmpress-sweep: %d/%d jobs done, %d plan-cache hits ", n, len(cfgs), hits)
+		},
+	})
+	start := time.Now()
+	results := r.RunConfigs(ctx, cfgs)
+	elapsed := time.Since(start)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
 	if err := w.Write([]string{
-		"family", "size", "params_b", "topology", "system", "microbatch",
+		"family", "size", "params_b", "topology", "system", "microbatch", "minibatches",
 		"status", "tflops", "samples_per_sec", "max_gpu_peak_gib", "host_peak_gib",
 	}); err != nil {
 		fail("%v", err)
 	}
-
-	for _, size := range sizes {
-		m := variant(size)
-		for _, mb := range mbs {
-			for i, sys := range systems {
-				rep, err := mpress.Train(mpress.Config{
-					Topology:       topo,
-					Model:          m,
-					Schedule:       schedule,
-					System:         sys,
-					MicrobatchSize: mb,
-				})
-				row := []string{
-					*family, size, fmt.Sprintf("%.2f", m.Billions()),
-					topo.Name, systemNames[i], strconv.Itoa(mb),
-				}
-				switch {
-				case err != nil:
-					row = append(row, "error", "", "", "", "")
-				case rep.Failed():
-					row = append(row, "oom", "", "", "", "")
-				default:
-					var peak mpress.Bytes
-					for _, p := range rep.PerGPUPeak {
-						if p > peak {
-							peak = p
-						}
-					}
-					row = append(row,
-						"ok",
-						fmt.Sprintf("%.2f", rep.TFLOPS),
-						fmt.Sprintf("%.2f", rep.SamplesPerSec),
-						fmt.Sprintf("%.2f", peak.GiBf()),
-						fmt.Sprintf("%.2f", rep.HostPeak.GiBf()),
-					)
-				}
-				if err := w.Write(row); err != nil {
-					fail("%v", err)
-				}
-				w.Flush()
-			}
+	for i, jr := range results {
+		p := points[i]
+		mini := p.mini
+		if mini == 0 {
+			mini = 2 // the default WithDefaults fills in
 		}
+		row := []string{
+			*family, p.size, fmt.Sprintf("%.2f", p.params),
+			topo.Name, systemNames[p.sysIdx], strconv.Itoa(p.mb), strconv.Itoa(mini),
+		}
+		rep := jr.Report
+		switch {
+		case jr.Err != nil:
+			row = append(row, "error", "", "", "", "")
+		case rep.Failed():
+			row = append(row, "oom", "", "", "", "")
+		default:
+			var peak mpress.Bytes
+			for _, pk := range rep.PerGPUPeak {
+				if pk > peak {
+					peak = pk
+				}
+			}
+			row = append(row,
+				"ok",
+				fmt.Sprintf("%.2f", rep.TFLOPS),
+				fmt.Sprintf("%.2f", rep.SamplesPerSec),
+				fmt.Sprintf("%.2f", peak.GiBf()),
+				fmt.Sprintf("%.2f", rep.HostPeak.GiBf()),
+			)
+		}
+		if err := w.Write(row); err != nil {
+			fail("%v", err)
+		}
+	}
+	w.Flush()
+
+	if !*quiet {
+		st := r.Stats()
+		fmt.Fprintf(os.Stderr,
+			"mpress-sweep: %d jobs in %s (%d workers); plan cache: %d hits, %d misses, %d computed; plan %s, exec %s\n",
+			st.Jobs, elapsed.Round(time.Millisecond), r.Workers(),
+			st.PlanCacheHits, st.PlanCacheMisses, st.PlanComputes,
+			st.PlanTime.Round(time.Millisecond), st.ExecTime.Round(time.Millisecond))
+	}
+	if err := ctx.Err(); err != nil {
+		fail("sweep aborted: %v", err)
 	}
 }

@@ -1,0 +1,33 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mpress/internal/hw"
+	"mpress/internal/pipeline"
+)
+
+func TestRunHonorsCancelledContext(t *testing.T) {
+	b := buildTiny(t, pipeline.DAPPLE, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A tight polling stride so even this tiny run notices the
+	// cancellation before draining its events.
+	_, err := Run(Options{Topo: hw.DGX1(), Built: b, Mapping: IdentityMapping(4), Ctx: ctx, InterruptEvery: 16})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestRunIgnoresLiveContext(t *testing.T) {
+	b := buildTiny(t, pipeline.DAPPLE, 4)
+	r, err := Run(Options{Topo: hw.DGX1(), Built: b, Mapping: IdentityMapping(4), Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OOM != nil || r.Duration <= 0 {
+		t.Errorf("degenerate result under a live context: %+v", r)
+	}
+}

@@ -12,6 +12,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -50,6 +51,14 @@ type Options struct {
 	// pipeline stages); they share the GPU's compute stream and
 	// memory. Without it, duplicate mapping entries are rejected.
 	AllowSharedDevices bool
+	// Ctx, when non-nil, cancels the run: the event loop polls
+	// ctx.Err() every InterruptEvery events (default a few thousand)
+	// and Run returns ctx's error instead of a result, so a cancelled
+	// sweep stops mid-simulation instead of finishing a 200M-event run.
+	Ctx context.Context
+	// InterruptEvery overrides the cancellation polling stride; zero
+	// keeps the simulator's default.
+	InterruptEvery int64
 }
 
 // MemSample is one point of the memory-over-time curve.
@@ -179,12 +188,20 @@ func Run(o Options) (*Result, error) {
 		e.rate = o.Topo.GPU.EffectiveFP16()
 	}
 
+	if ctx := o.Ctx; ctx != nil {
+		e.sim.Interrupt = func() bool { return ctx.Err() != nil }
+		e.sim.InterruptEvery = o.InterruptEvery
+	}
+
 	if err := e.init(); err != nil {
 		return nil, err
 	}
 	if e.oom == nil {
 		e.start()
 		e.sim.Run()
+		if e.sim.Interrupted {
+			return nil, o.Ctx.Err()
+		}
 	}
 	return e.result(), nil
 }

@@ -5,10 +5,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+
+	"mpress"
 )
 
 // Experiment is one runnable paper artifact.
@@ -25,6 +28,33 @@ type Experiment struct {
 var registry []Experiment
 
 func register(e Experiment) { registry = append(registry, e) }
+
+// parallelism is the worker count for generator batches (0 means
+// GOMAXPROCS); sharedRunner carries the plan cache all generators
+// share, so e.g. fig7 and table4 reuse each other's Bert plans.
+var (
+	parallelism  int
+	sharedRunner = mpress.NewRunner(mpress.RunnerOptions{})
+)
+
+// SetParallelism rebuilds the shared runner with n workers (n <= 0
+// restores the GOMAXPROCS default). Call it before running
+// experiments, not concurrently with them.
+func SetParallelism(n int) {
+	parallelism = n
+	sharedRunner = mpress.NewRunner(mpress.RunnerOptions{Workers: n})
+}
+
+// Stats exposes the shared runner's counters (jobs, plan-cache
+// hits/misses) for the CLI's summary line.
+func Stats() mpress.RunnerStats { return sharedRunner.Stats() }
+
+// trainAll submits the configs as one batch through the shared
+// runner's worker pool and returns their results in input order —
+// the batched counterpart of mpress.Train.
+func trainAll(cfgs []mpress.Config) []mpress.JobResult {
+	return sharedRunner.RunConfigs(context.Background(), cfgs)
+}
 
 // All returns the experiments in presentation order.
 func All() []Experiment {

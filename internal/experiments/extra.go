@@ -81,9 +81,10 @@ func MappingSearchCost(w io.Writer) error {
 // relative to the recommended compute-balanced strategy.
 func PartitionAblation(w io.Writer) error {
 	t := newTable("Strategy", "TFLOPS", "Max stage demand", "Loss")
-	var base float64
-	for _, strat := range []mpress.Strategy{mpress.ComputeBalanced, mpress.MemoryBalanced} {
-		rep, err := mpress.Train(mpress.Config{
+	strats := []mpress.Strategy{mpress.ComputeBalanced, mpress.MemoryBalanced}
+	var cfgs []mpress.Config
+	for _, strat := range strats {
+		cfgs = append(cfgs, mpress.Config{
 			Topology:       mpress.DGX1(),
 			Model:          mpress.MustBert("1.67B"),
 			Schedule:       mpress.PipeDream,
@@ -91,9 +92,14 @@ func PartitionAblation(w io.Writer) error {
 			System:         mpress.SystemMPress,
 			MicrobatchSize: 12,
 		})
-		if err != nil {
+	}
+	results := trainAll(cfgs)
+	var base float64
+	for i, strat := range strats {
+		if err := results[i].Err; err != nil {
 			return err
 		}
+		rep := results[i].Report
 		var tflops float64
 		var peak mpress.Bytes
 		if !rep.Failed() {

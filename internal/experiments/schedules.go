@@ -25,20 +25,32 @@ func init() {
 // on the early stages; DAPPLE is the leanest; and MPress rescues all
 // three.
 func ScheduleComparison(w io.Writer) error {
-	t := newTable("Schedule", "Plain", "Plain stage-0 peak", "MPress", "MPress stage-0 peak")
-	for _, kind := range []mpress.Schedule{mpress.PipeDream, mpress.DAPPLE, mpress.GPipe} {
-		row := []string{kind.String()}
-		for _, sys := range []mpress.System{mpress.SystemPlain, mpress.SystemMPress} {
-			rep, err := mpress.Train(mpress.Config{
+	kinds := []mpress.Schedule{mpress.PipeDream, mpress.DAPPLE, mpress.GPipe}
+	systems := []mpress.System{mpress.SystemPlain, mpress.SystemMPress}
+	var cfgs []mpress.Config
+	for _, kind := range kinds {
+		for _, sys := range systems {
+			cfgs = append(cfgs, mpress.Config{
 				Topology:       mpress.DGX1(),
 				Model:          mpress.MustBert("0.64B"),
 				Schedule:       kind,
 				System:         sys,
 				MicrobatchSize: 12,
 			})
-			if err != nil {
+		}
+	}
+	results := trainAll(cfgs)
+
+	t := newTable("Schedule", "Plain", "Plain stage-0 peak", "MPress", "MPress stage-0 peak")
+	i := 0
+	for _, kind := range kinds {
+		row := []string{kind.String()}
+		for range systems {
+			if err := results[i].Err; err != nil {
 				return err
 			}
+			rep := results[i].Report
+			i++
 			if rep.Failed() {
 				row = append(row, "OOM", "-")
 				continue

@@ -139,11 +139,16 @@ func TableIV(w io.Writer) error {
 		{"GPT-10.3B", mpress.Config{Topology: mpress.DGX1(), Model: mpress.MustGPT("10.3B"), Schedule: mpress.DAPPLE, System: mpress.SystemMPress, MicrobatchSize: 2}, mpress.DAPPLE},
 		{"GPT-20.4B", mpress.Config{Topology: mpress.DGX1(), Model: mpress.MustGPT("20.4B"), Schedule: mpress.DAPPLE, System: mpress.SystemMPress, MicrobatchSize: 2}, mpress.DAPPLE},
 	}
-	for _, j := range jobs {
-		rep, err := mpress.Train(j.cfg)
-		if err != nil {
+	cfgs := make([]mpress.Config, len(jobs))
+	for i, j := range jobs {
+		cfgs[i] = j.cfg
+	}
+	results := trainAll(cfgs)
+	for i, j := range jobs {
+		if err := results[i].Err; err != nil {
 			return err
 		}
+		rep := results[i].Report
 		if rep.Plan == nil {
 			continue
 		}

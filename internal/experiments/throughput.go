@@ -1,17 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
 	"mpress"
-	"mpress/internal/exec"
 	"mpress/internal/graph"
 	"mpress/internal/hw"
 	"mpress/internal/model"
-	"mpress/internal/pipeline"
-	"mpress/internal/plan"
 	"mpress/internal/units"
 )
 
@@ -57,22 +55,32 @@ func Figure7(w io.Writer) error {
 		mpress.SystemPlain, mpress.SystemGPUCPUSwap, mpress.SystemRecompute,
 		mpress.SystemMPressD2D, mpress.SystemMPress,
 	}
-	header := []string{"Bert size"}
-	for _, s := range systems {
-		header = append(header, s.String())
-	}
-	t := newTable(header...)
-	for _, size := range []string{"0.35B", "0.64B", "1.67B", "4.0B", "6.2B"} {
-		row := []string{size}
+	sizes := []string{"0.35B", "0.64B", "1.67B", "4.0B", "6.2B"}
+	var cfgs []mpress.Config
+	for _, size := range sizes {
 		for _, sys := range systems {
-			rep, err := mpress.Train(mpress.Config{
+			cfgs = append(cfgs, mpress.Config{
 				Topology:       mpress.DGX1(),
 				Model:          mpress.MustBert(size),
 				Schedule:       mpress.PipeDream,
 				System:         sys,
 				MicrobatchSize: 12,
 			})
-			row = append(row, cell(rep, err))
+		}
+	}
+	results := trainAll(cfgs)
+
+	header := []string{"Bert size"}
+	for _, s := range systems {
+		header = append(header, s.String())
+	}
+	t := newTable(header...)
+	i := 0
+	for _, size := range sizes {
+		row := []string{size}
+		for range systems {
+			row = append(row, cell(results[i].Report, results[i].Err))
+			i++
 		}
 		t.add(row...)
 	}
@@ -99,23 +107,32 @@ func Figure8(w io.Writer, dgx2 bool) error {
 		mpress.SystemPlain, mpress.SystemRecompute,
 		mpress.SystemZeROOffload, mpress.SystemZeROInfinity, mpress.SystemMPress,
 	}
-	header := []string{"GPT size", "DAPPLE", "DAPPLE+Recomp", "ZeRO-Offload", "ZeRO-Infinity", "MPress"}
-	t := newTable(header...)
+	var cfgs []mpress.Config
 	for _, size := range sizes {
-		row := []string{size}
 		for _, sys := range systems {
 			tp := topo
 			if sys == mpress.SystemZeROOffload || sys == mpress.SystemZeROInfinity {
 				tp = zeroTopo
 			}
-			rep, err := mpress.Train(mpress.Config{
+			cfgs = append(cfgs, mpress.Config{
 				Topology:       tp,
 				Model:          mpress.MustGPT(size),
 				Schedule:       mpress.DAPPLE,
 				System:         sys,
 				MicrobatchSize: 2,
 			})
-			row = append(row, cell(rep, err))
+		}
+	}
+	results := trainAll(cfgs)
+
+	header := []string{"GPT size", "DAPPLE", "DAPPLE+Recomp", "ZeRO-Offload", "ZeRO-Infinity", "MPress"}
+	t := newTable(header...)
+	i := 0
+	for _, size := range sizes {
+		row := []string{size}
+		for range systems {
+			row = append(row, cell(results[i].Report, results[i].Err))
+			i++
 		}
 		t.add(row...)
 	}
@@ -144,88 +161,84 @@ func Figure8(w io.Writer, dgx2 bool) error {
 // restore latency, where the two optimizations' bandwidth effect is
 // directly visible.
 func Figure9(w io.Writer) error {
-	t := newTable("Topology", "Setting", "Norm. TFLOPS", "Mean D2D restore")
-	for _, tc := range []struct {
+	bert, err := model.BertVariant("1.67B")
+	if err != nil {
+		return err
+	}
+	prec := model.FP32Adam()
+	topos := []struct {
 		name string
 		topo func() *hw.Topology
 	}{
 		{"DGX-1 (asymmetric)", hw.DGX1},
 		{"DGX-2 (symmetric)", hw.DGX2},
-	} {
-		type outcome struct {
-			tflops  float64
-			restore units.Duration
-		}
-		run := func(disableMap, disableStripe bool) (outcome, error) {
-			topo := tc.topo()
-			cfg, err := model.BertVariant("1.67B")
-			if err != nil {
-				return outcome{}, err
-			}
-			prec := model.FP32Adam()
-			part, err := pipeline.PartitionModel(cfg, 8, pipeline.ComputeBalanced,
-				pipeline.PipeDream, prec, 12, 32)
-			if err != nil {
-				return outcome{}, err
-			}
-			build := func() (*pipeline.Built, error) {
-				return pipeline.Build(pipeline.BuildConfig{
-					Model: cfg, Prec: prec, Part: part, Kind: pipeline.PipeDream,
-					MicrobatchSize: 12, Microbatches: 32, Minibatches: 2,
-				})
-			}
-			pl, err := plan.Compute(plan.Options{
-				Topo: topo, Build: build, Allowed: plan.AllMechanisms(),
-				DisableMappingSearch: disableMap, DisableStriping: disableStripe,
+	}
+	settings := []struct {
+		name                      string
+		disableMap, disableStripe bool
+	}{
+		{"default", true, true},
+		{"+device mapping", false, true},
+		{"+data striping", true, false},
+		{"both", false, false},
+	}
+	var cfgs []mpress.Config
+	for _, tc := range topos {
+		for _, s := range settings {
+			cfgs = append(cfgs, mpress.Config{
+				Topology:  tc.topo(),
+				Model:     bert,
+				Schedule:  mpress.PipeDream,
+				Precision: &prec,
+				Stages:    8, MicrobatchSize: 12, Microbatches: 32, Minibatches: 2,
+				System:               mpress.SystemMPress,
+				DisableMappingSearch: s.disableMap,
+				DisableStriping:      s.disableStripe,
 			})
-			if err != nil {
-				return outcome{}, err
-			}
-			b, err := build()
-			if err != nil {
-				return outcome{}, err
-			}
-			opts, err := plan.Apply(pl, b, topo)
-			if err != nil {
-				return outcome{}, err
-			}
-			res, err := exec.Run(*opts)
-			if err != nil {
-				return outcome{}, err
-			}
-			if res.OOM != nil {
-				return outcome{}, nil
-			}
-			var total units.Duration
-			var n int
-			for i, op := range b.Graph.Ops() {
-				if op.Kind == graph.SwapIn && strings.HasPrefix(op.Name, "d2d") {
-					sp := res.Spans[i]
-					total += units.Duration(sp.End - sp.Start)
-					n++
-				}
-			}
-			out := outcome{tflops: res.TFLOPS}
-			if n > 0 {
-				out.restore = total / units.Duration(n)
-			}
-			return out, nil
 		}
-		base, err := run(true, true)
+	}
+	// A dedicated runner keeps the lowered graphs and raw exec results
+	// around (KeepArtifacts) so the D2D restore spans can be measured.
+	r := mpress.NewRunner(mpress.RunnerOptions{Workers: parallelism, KeepArtifacts: true})
+	results := r.RunConfigs(context.Background(), cfgs)
+
+	type outcome struct {
+		tflops  float64
+		restore units.Duration
+	}
+	outcomeOf := func(jr mpress.JobResult) (outcome, error) {
+		if jr.Err != nil {
+			return outcome{}, jr.Err
+		}
+		if jr.Report.Failed() {
+			return outcome{}, nil
+		}
+		b, res := jr.State.Built, jr.State.Exec
+		var total units.Duration
+		var n int
+		for i, op := range b.Graph.Ops() {
+			if op.Kind == graph.SwapIn && strings.HasPrefix(op.Name, "d2d") {
+				sp := res.Spans[i]
+				total += units.Duration(sp.End - sp.Start)
+				n++
+			}
+		}
+		out := outcome{tflops: res.TFLOPS}
+		if n > 0 {
+			out.restore = total / units.Duration(n)
+		}
+		return out, nil
+	}
+
+	t := newTable("Topology", "Setting", "Norm. TFLOPS", "Mean D2D restore")
+	for ti, tc := range topos {
+		// The "default" setting is the normalization base.
+		base, err := outcomeOf(results[ti*len(settings)])
 		if err != nil {
 			return err
 		}
-		settings := []struct {
-			name                      string
-			disableMap, disableStripe bool
-		}{
-			{"default", true, true},
-			{"+device mapping", false, true},
-			{"+data striping", true, false},
-			{"both", false, false},
-		}
-		for _, s := range settings {
-			o, err := run(s.disableMap, s.disableStripe)
+		for si, s := range settings {
+			o, err := outcomeOf(results[ti*len(settings)+si])
 			if err != nil {
 				return err
 			}

@@ -23,6 +23,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -94,6 +95,10 @@ type Options struct {
 	// DisableStriping routes every D2D swap to a single peer instead
 	// of striping across all reachable ones (Fig. 9 ablation).
 	DisableStriping bool
+	// Ctx, when non-nil, cancels planning: each emulator run polls it
+	// (see exec.Options.Ctx), so a cancelled sweep abandons the
+	// refinement loop mid-emulation.
+	Ctx context.Context
 }
 
 // groupKey identifies a per-(stage, block) activation group.
@@ -830,6 +835,7 @@ func (p *planner) emulate(pl *Plan) (*exec.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts.Ctx = p.o.Ctx
 	p.emulations++
 	return exec.Run(*opts)
 }

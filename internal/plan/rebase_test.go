@@ -1,0 +1,130 @@
+package plan
+
+import (
+	"testing"
+
+	"mpress/internal/exec"
+	"mpress/internal/hw"
+	"mpress/internal/model"
+	"mpress/internal/pipeline"
+	"mpress/internal/tensor"
+)
+
+// smallJobAt is smallJob with a configurable minibatch count, for
+// exercising Rebase across lowerings of the same sweep point.
+func smallJobAt(t *testing.T, kind pipeline.ScheduleKind, minibatches int) func() (*pipeline.Built, error) {
+	t.Helper()
+	cfg := model.Config{
+		Name: "Small", Arch: model.GPT,
+		Layers: 8, Hidden: 2048, Heads: 32, SeqLen: 512, Vocab: 8192,
+		DType: tensor.FP16,
+	}
+	prec := model.MixedAdam()
+	part, err := pipeline.PartitionModel(cfg, 4, pipeline.ComputeBalanced, kind, prec, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() (*pipeline.Built, error) {
+		return pipeline.Build(pipeline.BuildConfig{
+			Model: cfg, Prec: prec, Part: part, Kind: kind,
+			MicrobatchSize: 4, Microbatches: 4, Minibatches: minibatches,
+		})
+	}
+}
+
+func mustBuild(t *testing.T, build func() (*pipeline.Built, error)) *pipeline.Built {
+	t.Helper()
+	b, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRebaseSameMinibatchesReturnsSamePlan(t *testing.T) {
+	build := smallJobAt(t, pipeline.PipeDream, 2)
+	peaks := measure(t, build, hw.DGX1())
+	topo := topoWithCapacity(capacityBetween(t, peaks))
+	pl, err := Compute(Options{Topo: topo, Build: build, Allowed: AllMechanisms()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, to := mustBuild(t, build), mustBuild(t, build)
+	re, err := Rebase(pl, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re != pl {
+		t.Error("equal minibatch counts should return the plan unchanged")
+	}
+}
+
+func TestRebaseAppliesAcrossMinibatches(t *testing.T) {
+	canonical := smallJobAt(t, pipeline.PipeDream, 2)
+	peaks := measure(t, canonical, hw.DGX1())
+	topo := topoWithCapacity(capacityBetween(t, peaks))
+	pl, err := Compute(Options{Topo: topo, Build: canonical, Allowed: AllMechanisms()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Act)+len(pl.HostPersist) == 0 {
+		t.Fatal("test setup: plan is empty, rebase would be vacuous")
+	}
+	from := mustBuild(t, canonical)
+
+	// Both an exact multiple (4) and a non-multiple (3) of the source
+	// count must lower, apply and run without OOM.
+	for _, mini := range []int{3, 4} {
+		target := smallJobAt(t, pipeline.PipeDream, mini)
+		to := mustBuild(t, target)
+		re, err := Rebase(pl, from, to)
+		if err != nil {
+			t.Fatalf("mini=%d: %v", mini, err)
+		}
+		if re == pl {
+			t.Fatalf("mini=%d: rebase returned the source plan", mini)
+		}
+		if len(re.Act) < len(pl.Act) {
+			t.Errorf("mini=%d: rebased plan covers %d acts, source %d", mini, len(re.Act), len(pl.Act))
+		}
+		if mini == 4 && len(re.Act) != 2*len(pl.Act) {
+			t.Errorf("mini=4: want exactly doubled act coverage, got %d from %d", len(re.Act), len(pl.Act))
+		}
+		opts, err := Apply(re, to, topo)
+		if err != nil {
+			t.Fatalf("mini=%d: %v", mini, err)
+		}
+		res, err := exec.Run(*opts)
+		if err != nil {
+			t.Fatalf("mini=%d: %v", mini, err)
+		}
+		if res.OOM != nil {
+			t.Errorf("mini=%d: rebased plan OOMs: %v", mini, res.OOM)
+		}
+	}
+}
+
+func TestRebaseRejectsShapeMismatch(t *testing.T) {
+	build := smallJobAt(t, pipeline.PipeDream, 2)
+	peaks := measure(t, build, hw.DGX1())
+	topo := topoWithCapacity(capacityBetween(t, peaks))
+	pl, err := Compute(Options{Topo: topo, Build: build, Allowed: AllMechanisms()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := mustBuild(t, build)
+
+	// Same stages but a different microbatch count must be rejected.
+	cfg := from.Cfg
+	other, err := pipeline.Build(pipeline.BuildConfig{
+		Model: cfg.Model, Prec: cfg.Prec, Part: cfg.Part, Kind: cfg.Kind,
+		MicrobatchSize: cfg.MicrobatchSize, Microbatches: cfg.Microbatches * 2,
+		Minibatches: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Rebase(pl, from, other); err == nil {
+		t.Error("rebase across different microbatch counts should fail")
+	}
+}

@@ -1,0 +1,66 @@
+package runner
+
+import (
+	"sync"
+
+	"mpress/internal/plan"
+)
+
+// planCache memoizes computed plans by Job.PlanKey with singleflight
+// deduplication: when several workers want the same key at once, one
+// computes and the rest block on its result — the plan is computed
+// exactly once per key per runner. Plans are stored by pointer and
+// shared across jobs; that is safe because plan.Apply and plan.Rebase
+// only read the plan.
+type planCache struct {
+	mu       sync.Mutex
+	entries  map[string]*cacheEntry
+	hits     int64
+	misses   int64
+	computes int64
+}
+
+type cacheEntry struct {
+	done chan struct{} // closed when pl/err are settled
+	pl   *plan.Plan
+	err  error
+}
+
+func newPlanCache() *planCache {
+	return &planCache{entries: make(map[string]*cacheEntry)}
+}
+
+// getOrCompute returns the cached plan for key, computing it via fn if
+// absent. hit reports whether the caller reused someone else's work
+// (either a settled entry or another worker's in-flight computation).
+// Failed computations are not cached: the entry is removed so a later
+// caller retries.
+func (c *planCache) getOrCompute(key string, fn func() (*plan.Plan, error)) (pl *plan.Plan, hit bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.done
+		return e.pl, true, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.computes++
+	c.mu.Unlock()
+
+	e.pl, e.err = fn()
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(e.done)
+	return e.pl, false, e.err
+}
+
+func (c *planCache) stats() (hits, misses, computes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.computes
+}

@@ -1,0 +1,258 @@
+// Package runner decomposes the training facade into an explicit,
+// composable job pipeline. A Job is a validated Config plus a
+// canonical fingerprint; the stages Partition → Build → Plan → Apply
+// → Execute → Report lower and simulate it; and a Runner executes
+// batches of jobs through a bounded worker pool with a
+// concurrency-safe, fingerprint-keyed plan cache — so parameter
+// sweeps run in parallel by construction and adjacent sweep points
+// reuse the planner's profile/mapping/refinement work instead of
+// re-deriving it per run.
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"mpress/internal/hw"
+	"mpress/internal/memsim"
+	"mpress/internal/model"
+	"mpress/internal/pipeline"
+	"mpress/internal/plan"
+	"mpress/internal/tensor"
+	"mpress/internal/units"
+)
+
+// System selects which training system runs the job — the paper's
+// evaluation compares exactly these (Figs. 7 and 8).
+type System int
+
+const (
+	// SystemPlain is the unmodified pipeline system (PipeDream or
+	// DAPPLE per Config.Schedule), no memory saving.
+	SystemPlain System = iota
+	// SystemGPUCPUSwap enables only PCIe swapping to host memory.
+	SystemGPUCPUSwap
+	// SystemRecompute enables only activation recomputation.
+	SystemRecompute
+	// SystemMPressD2D is MPress restricted to D2D swap.
+	SystemMPressD2D
+	// SystemMPress is the full system (D2D + GPU-CPU swap +
+	// recomputation, with device mapping and data striping).
+	SystemMPress
+	// SystemZeRO3, SystemZeROOffload and SystemZeROInfinity are the
+	// data-parallel DeepSpeed baselines; Config.Schedule is ignored.
+	SystemZeRO3
+	SystemZeROOffload
+	SystemZeROInfinity
+)
+
+// String names the system as the paper's figures do.
+func (s System) String() string {
+	switch s {
+	case SystemPlain:
+		return "Pipeline"
+	case SystemGPUCPUSwap:
+		return "GPU-CPU Swap"
+	case SystemRecompute:
+		return "Recomputation"
+	case SystemMPressD2D:
+		return "MPress-D2D"
+	case SystemMPress:
+		return "MPress"
+	case SystemZeRO3:
+		return "ZeRO-3"
+	case SystemZeROOffload:
+		return "ZeRO-Offload"
+	case SystemZeROInfinity:
+		return "ZeRO-Infinity"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// IsZeRO reports whether the system is a data-parallel baseline.
+func (s System) IsZeRO() bool {
+	return s == SystemZeRO3 || s == SystemZeROOffload || s == SystemZeROInfinity
+}
+
+// Planned reports whether the system runs the MPress planner (and so
+// produces a cacheable plan.Plan).
+func (s System) Planned() bool {
+	switch s {
+	case SystemGPUCPUSwap, SystemRecompute, SystemMPressD2D, SystemMPress:
+		return true
+	default:
+		return false
+	}
+}
+
+// Config describes one training job.
+type Config struct {
+	// Topology is required.
+	Topology *hw.Topology
+	// Model is required (see the facade's MustBert/MustGPT or build
+	// your own).
+	Model model.Config
+	// Schedule defaults to DAPPLE; Strategy to ComputeBalanced.
+	Schedule pipeline.ScheduleKind
+	Strategy pipeline.Strategy
+	// Precision defaults to mixed-precision Adam for fp16 models and
+	// full-precision Adam for fp32 ones.
+	Precision *model.Precision
+	// Stages defaults to the GPU count.
+	Stages int
+	// MicrobatchSize defaults to 2; Microbatches (per minibatch) to
+	// 4× the stage count; Minibatches to 2.
+	MicrobatchSize int
+	Microbatches   int
+	Minibatches    int
+	// System defaults to SystemMPress.
+	System System
+	// DisableMappingSearch / DisableStriping are the Fig. 9 ablation
+	// knobs (only meaningful for the MPress systems).
+	DisableMappingSearch bool
+	DisableStriping      bool
+}
+
+// WithDefaults validates the config and fills defaults, returning the
+// canonical form jobs are fingerprinted over.
+func (c Config) WithDefaults() (Config, error) {
+	if c.Topology == nil {
+		return c, fmt.Errorf("mpress: Topology is required")
+	}
+	if err := c.Topology.Validate(); err != nil {
+		return c, err
+	}
+	if err := c.Model.Validate(); err != nil {
+		return c, err
+	}
+	if c.Stages == 0 {
+		c.Stages = c.Topology.NumGPUs
+	}
+	if c.MicrobatchSize == 0 {
+		c.MicrobatchSize = 2
+	}
+	if c.Microbatches == 0 {
+		// 4× the stage count keeps the 1F1B bubble under ~20%, the
+		// regime pipeline systems are run in.
+		c.Microbatches = 4 * c.Stages
+	}
+	if c.Minibatches == 0 {
+		c.Minibatches = 2
+	}
+	if c.Precision == nil {
+		p := model.MixedAdam()
+		if c.Model.DType == tensor.FP32 {
+			p = model.FP32Adam()
+		}
+		c.Precision = &p
+	}
+	return c, nil
+}
+
+// Report is the outcome of one training job.
+type Report struct {
+	Config Config
+	// OOM is non-nil when the job died of out-of-memory — the red
+	// crosses of Fig. 7.
+	OOM *memsim.OOMError
+	// Duration is simulated wall-clock; TFLOPS and SamplesPerSec are
+	// the paper's throughput metrics (zero when OOM).
+	Duration      units.Duration
+	TFLOPS        float64
+	SamplesPerSec float64
+	// PerGPUPeak is each GPU's peak memory (Fig. 2's bars). For the
+	// ZeRO baselines every entry is equal: each data-parallel rank
+	// does identical work, so the simulator models rank 0 and
+	// replicates its peak by symmetry.
+	PerGPUPeak []units.Bytes
+	HostPeak   units.Bytes
+	// Interconnect traffic of the run (zero for the ZeRO baselines,
+	// whose analytic model does not route per-byte traffic).
+	NVLinkBytes units.Bytes
+	PCIeBytes   units.Bytes
+	NVMeBytes   units.Bytes
+	// Plan is the MPress compaction plan (nil for baselines), and
+	// Mapping the stage→GPU assignment used.
+	Plan    *plan.Plan
+	Mapping []hw.DeviceID
+}
+
+// Failed reports whether the job hit OOM.
+func (r *Report) Failed() bool { return r.OOM != nil }
+
+// Job is a validated training job: a defaulted Config plus the
+// canonical fingerprints the runner keys caching and deduplication on.
+type Job struct {
+	// Config is the defaulted, validated configuration.
+	Config Config
+
+	fp      string
+	planKey string
+}
+
+// NewJob validates cfg, fills its defaults and computes the job's
+// canonical fingerprint.
+func NewJob(cfg Config) (*Job, error) {
+	c, err := cfg.WithDefaults()
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{Config: c}
+	j.fp = digest(canonical(c, true))
+	if c.System.Planned() {
+		j.planKey = digest(canonical(c, false))
+	}
+	return j, nil
+}
+
+// Fingerprint canonically identifies the job: two jobs with equal
+// fingerprints simulate identically. It doubles as the label recorded
+// by plan.Save.
+func (j *Job) Fingerprint() string { return j.fp }
+
+// PlanKey identifies the job's compaction plan: the fingerprint minus
+// the fields a cached plan is independent of (Minibatches — plans are
+// computed on a canonical minibatch count and rebased, see the Plan
+// stage). Empty for systems that do not run the planner.
+func (j *Job) PlanKey() string { return j.planKey }
+
+// canonical renders the defaulted config as a stable string. Every
+// field that can change the simulation outcome must appear here; the
+// topology is identified by its full parameter set, not just its
+// name, so custom topologies fingerprint distinctly.
+func canonical(c Config, withMinibatches bool) string {
+	var b strings.Builder
+	t := c.Topology
+	fmt.Fprintf(&b, "topo=%s/g%d/sw%v/lanes%d/nvbw%g/nvlat%d/pcie%g/pcielat%d/host%d/nvmebw%g/nvmelat%d/nvme%d;",
+		t.Name, t.NumGPUs, t.Switched, t.LanesPerGPU,
+		float64(t.NVLinkLaneBW), int64(t.NVLinkLatency),
+		float64(t.PCIeBW), int64(t.PCIeLatency),
+		int64(t.HostMemory), float64(t.NVMeBW), int64(t.NVMeLatency), int64(t.NVMeSize))
+	g := t.GPU
+	fmt.Fprintf(&b, "gpu=%s/mem%d/fp32-%g/fp16-%g/eff%g/hbm%g;",
+		g.Name, int64(g.Memory), float64(g.PeakFP32), float64(g.PeakFP16),
+		g.Efficiency, float64(g.HBM))
+	if !t.Switched {
+		// The lane matrix shapes D2D routing on asymmetric servers.
+		fmt.Fprintf(&b, "lanes=%v;", t.NVLinkLanes)
+	}
+	m := c.Model
+	fmt.Fprintf(&b, "model=%s/%v/L%d/H%d/h%d/s%d/v%d/%v;",
+		m.Name, m.Arch, m.Layers, m.Hidden, m.Heads, m.SeqLen, m.Vocab, m.DType)
+	fmt.Fprintf(&b, "prec=%d/%d/%d;", c.Precision.ParamBytes, c.Precision.GradBytes, c.Precision.OptBytes)
+	fmt.Fprintf(&b, "sched=%v;strat=%v;stages=%d;mbs=%d;micro=%d;",
+		c.Schedule, c.Strategy, c.Stages, c.MicrobatchSize, c.Microbatches)
+	if withMinibatches {
+		fmt.Fprintf(&b, "mini=%d;", c.Minibatches)
+	}
+	fmt.Fprintf(&b, "sys=%d;nomap=%v;nostripe=%v", int(c.System), c.DisableMappingSearch, c.DisableStriping)
+	return b.String()
+}
+
+func digest(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:16])
+}

@@ -1,0 +1,230 @@
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Options configures a Runner.
+type Options struct {
+	// Workers bounds how many jobs simulate concurrently; 0 means
+	// GOMAXPROCS. Each job runs on an isolated simulator instance, so
+	// results are independent of the interleaving.
+	Workers int
+	// KeepArtifacts retains each job's full pipeline State (lowered
+	// graph, executor options, raw exec.Result) on its JobResult.
+	// Off by default so multi-gigabyte sweep intermediates are
+	// collected as soon as the report is assembled.
+	KeepArtifacts bool
+	// OnJobDone, when set, is called after every job completes — from
+	// the worker goroutine that ran it, so it must be safe for
+	// concurrent use. Progress meters hang off this.
+	OnJobDone func(JobResult)
+}
+
+// JobResult pairs a job with its outcome.
+type JobResult struct {
+	Job *Job
+	// Report is the job's outcome (nil when Err is set).
+	Report *Report
+	Err    error
+	// Elapsed is the real time the job occupied a worker; StageTimes
+	// breaks it down by stage name.
+	Elapsed    time.Duration
+	StageTimes map[string]time.Duration
+	// PlanCacheHit reports the job reused a plan computed by another
+	// job (or an earlier run) instead of searching itself.
+	PlanCacheHit bool
+	// State holds the job's intermediates; only populated when
+	// Options.KeepArtifacts is set.
+	State *State
+}
+
+// Stats aggregates a runner's lifetime counters.
+type Stats struct {
+	// Jobs completed (successfully or not).
+	Jobs int64
+	// PlanComputes counts planner searches actually run;
+	// PlanCacheHits and PlanCacheMisses count lookups. Hits include
+	// waiting on another worker's in-flight computation — the work
+	// was shared either way.
+	PlanComputes    int64
+	PlanCacheHits   int64
+	PlanCacheMisses int64
+	// PlanTime and ExecTime accumulate real time across jobs in the
+	// planning and execution stages respectively.
+	PlanTime time.Duration
+	ExecTime time.Duration
+}
+
+// Runner executes jobs through a bounded worker pool over a shared
+// plan cache. The zero value is not usable; call New.
+type Runner struct {
+	opts  Options
+	cache *planCache
+
+	mu       sync.Mutex
+	jobs     int64
+	planTime time.Duration
+	execTime time.Duration
+}
+
+// New returns a Runner with the given options.
+func New(opts Options) *Runner {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{opts: opts, cache: newPlanCache()}
+}
+
+// Workers returns the pool size jobs run at.
+func (r *Runner) Workers() int { return r.opts.Workers }
+
+// Run executes one job through its stage pipeline. Invalid
+// configuration and cancellation surface as JobResult.Err; OOM is
+// reported inside the Report, matching how the paper's figures show
+// failed runs.
+func (r *Runner) Run(ctx context.Context, j *Job) JobResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	st := &State{Job: j, cache: r.cache}
+	res := JobResult{Job: j, StageTimes: make(map[string]time.Duration)}
+	for _, stage := range stagesFor(j) {
+		if err := ctx.Err(); err != nil {
+			res.Err = err
+			break
+		}
+		s0 := time.Now()
+		err := stage.Run(ctx, st)
+		d := time.Since(s0)
+		res.StageTimes[stage.Name] = d
+		r.account(stage.Name, d)
+		if err != nil {
+			res.Err = err
+			break
+		}
+	}
+	res.Report = st.Report
+	res.PlanCacheHit = st.PlanCacheHit
+	res.Elapsed = time.Since(start)
+	if r.opts.KeepArtifacts {
+		res.State = st
+	}
+	r.mu.Lock()
+	r.jobs++
+	r.mu.Unlock()
+	if r.opts.OnJobDone != nil {
+		r.opts.OnJobDone(res)
+	}
+	return res
+}
+
+// RunAll executes the jobs through the worker pool and returns their
+// results in input order. Cancelling ctx stops in-flight simulations
+// at their next interrupt poll; jobs not yet finished report ctx's
+// error.
+func (r *Runner) RunAll(ctx context.Context, jobs []*Job) []JobResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]JobResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	workers := r.opts.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = r.Run(ctx, jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// RunConfigs validates the configs into jobs and runs them all. A
+// config that fails validation surfaces as its result's Err without
+// blocking the rest of the batch.
+func (r *Runner) RunConfigs(ctx context.Context, cfgs []Config) []JobResult {
+	jobs := make([]*Job, len(cfgs))
+	errs := make([]error, len(cfgs))
+	for i, cfg := range cfgs {
+		jobs[i], errs[i] = NewJob(cfg)
+	}
+	// Run the valid jobs; slot validation errors into place after.
+	valid := make([]*Job, 0, len(jobs))
+	for _, j := range jobs {
+		if j != nil {
+			valid = append(valid, j)
+		}
+	}
+	ran := r.RunAll(ctx, valid)
+	results := make([]JobResult, len(cfgs))
+	next := 0
+	for i := range cfgs {
+		if jobs[i] == nil {
+			results[i] = JobResult{Err: errs[i]}
+			continue
+		}
+		results[i] = ran[next]
+		next++
+	}
+	return results
+}
+
+// Stats returns the runner's aggregate counters.
+func (r *Runner) Stats() Stats {
+	hits, misses, computes := r.cache.stats()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{
+		Jobs:            r.jobs,
+		PlanComputes:    computes,
+		PlanCacheHits:   hits,
+		PlanCacheMisses: misses,
+		PlanTime:        r.planTime,
+		ExecTime:        r.execTime,
+	}
+}
+
+func (r *Runner) account(stage string, d time.Duration) {
+	r.mu.Lock()
+	switch stage {
+	case "plan":
+		r.planTime += d
+	case "execute":
+		r.execTime += d
+	}
+	r.mu.Unlock()
+}
+
+// Train runs one job to completion on a fresh single-worker runner —
+// the engine behind the facade's mpress.Train. Each call plans from
+// scratch, exactly as the pre-runner facade did.
+func Train(cfg Config) (*Report, error) {
+	j, err := NewJob(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := New(Options{Workers: 1}).Run(context.Background(), j)
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return res.Report, nil
+}

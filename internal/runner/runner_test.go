@@ -1,0 +1,280 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"mpress/internal/hw"
+	"mpress/internal/model"
+	"mpress/internal/pipeline"
+)
+
+// bertCfg is the test workhorse: small enough to simulate in well
+// under a second, big enough to exercise the full stage pipeline.
+func bertCfg(t *testing.T, size string, sys System) Config {
+	t.Helper()
+	m, err := model.BertVariant(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Topology:       hw.DGX1(),
+		Model:          m,
+		Schedule:       pipeline.PipeDream,
+		System:         sys,
+		MicrobatchSize: 12,
+	}
+}
+
+func mustJob(t *testing.T, cfg Config) *Job {
+	t.Helper()
+	j, err := NewJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestFingerprintAndPlanKey(t *testing.T) {
+	base := bertCfg(t, "0.64B", SystemMPress)
+	j1, j2 := mustJob(t, base), mustJob(t, base)
+	if j1.Fingerprint() != j2.Fingerprint() || j1.PlanKey() != j2.PlanKey() {
+		t.Fatal("identical configs must fingerprint identically")
+	}
+
+	// Minibatches is excluded from the plan key but not the fingerprint.
+	mini := base
+	mini.Minibatches = 4
+	jm := mustJob(t, mini)
+	if jm.Fingerprint() == j1.Fingerprint() {
+		t.Error("minibatch count must change the fingerprint")
+	}
+	if jm.PlanKey() != j1.PlanKey() {
+		t.Error("minibatch count must not change the plan key")
+	}
+
+	// The ablation knobs key distinct plans.
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.DisableStriping = true },
+		func(c *Config) { c.DisableMappingSearch = true },
+		func(c *Config) { c.System = SystemRecompute },
+	} {
+		v := base
+		mutate(&v)
+		if jv := mustJob(t, v); jv.PlanKey() == j1.PlanKey() {
+			t.Errorf("variant %+v shares the base plan key", v)
+		}
+	}
+
+	// Systems that never run the planner have no plan key.
+	for _, sys := range []System{SystemPlain, SystemZeRO3, SystemZeROOffload, SystemZeROInfinity} {
+		if j := mustJob(t, bertCfg(t, "0.64B", sys)); j.PlanKey() != "" {
+			t.Errorf("%v has a plan key", sys)
+		}
+	}
+}
+
+// TestDeterminism is the regression test for the refactor's core
+// promise: the same Config yields byte-identical Reports whether run
+// serially through Train or concurrently through a Runner alongside
+// other jobs.
+func TestDeterminism(t *testing.T) {
+	cfg := bertCfg(t, "1.67B", SystemMPress)
+	rep1, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep1, rep2) {
+		t.Fatal("two serial Train calls disagree")
+	}
+
+	// The same config twice in a concurrent batch, interleaved with
+	// different jobs contending for the worker pool and plan cache.
+	r := New(Options{Workers: 4})
+	batch := []Config{
+		cfg,
+		bertCfg(t, "0.64B", SystemRecompute),
+		bertCfg(t, "0.64B", SystemGPUCPUSwap),
+		cfg,
+	}
+	results := r.RunConfigs(context.Background(), batch)
+	for _, i := range []int{0, 3} {
+		if results[i].Err != nil {
+			t.Fatalf("job %d: %v", i, results[i].Err)
+		}
+		if !reflect.DeepEqual(results[i].Report, rep1) {
+			t.Errorf("concurrent job %d's report differs from the serial one", i)
+		}
+	}
+	st := r.Stats()
+	if st.Jobs != 4 {
+		t.Errorf("jobs counter = %d, want 4", st.Jobs)
+	}
+	// Three distinct plan keys; the duplicated config reuses its twin's.
+	if st.PlanComputes != 3 || st.PlanCacheHits != 1 {
+		t.Errorf("plan cache: %d computes, %d hits; want 3, 1", st.PlanComputes, st.PlanCacheHits)
+	}
+}
+
+func TestMinibatchVariantsSharePlan(t *testing.T) {
+	base := bertCfg(t, "0.64B", SystemMPress)
+	vary := base
+	vary.Minibatches = 4
+
+	r := New(Options{Workers: 1})
+	results := r.RunConfigs(context.Background(), []Config{base, vary})
+	for i, jr := range results {
+		if jr.Err != nil {
+			t.Fatalf("job %d: %v", i, jr.Err)
+		}
+	}
+	st := r.Stats()
+	if st.PlanComputes != 1 || st.PlanCacheHits != 1 {
+		t.Fatalf("plan cache: %d computes, %d hits; want 1, 1", st.PlanComputes, st.PlanCacheHits)
+	}
+	if results[0].PlanCacheHit || !results[1].PlanCacheHit {
+		t.Errorf("cache hit flags = %v, %v; want false, true", results[0].PlanCacheHit, results[1].PlanCacheHit)
+	}
+
+	// The rebased cached plan must reproduce a from-scratch run.
+	fresh, err := Train(vary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(results[1].Report, fresh) {
+		t.Error("cached+rebased report differs from a from-scratch Train")
+	}
+}
+
+func TestKnobVariantsMissCache(t *testing.T) {
+	base := bertCfg(t, "0.64B", SystemMPress)
+	noStripe := base
+	noStripe.DisableStriping = true
+	noMap := base
+	noMap.DisableMappingSearch = true
+
+	r := New(Options{Workers: 1})
+	results := r.RunConfigs(context.Background(), []Config{base, noStripe, noMap})
+	for i, jr := range results {
+		if jr.Err != nil {
+			t.Fatalf("job %d: %v", i, jr.Err)
+		}
+		if jr.PlanCacheHit {
+			t.Errorf("job %d hit the cache across ablation knobs", i)
+		}
+	}
+	if st := r.Stats(); st.PlanComputes != 3 || st.PlanCacheHits != 0 {
+		t.Errorf("plan cache: %d computes, %d hits; want 3, 0", st.PlanComputes, st.PlanCacheHits)
+	}
+}
+
+func TestSingleflightComputesOnce(t *testing.T) {
+	cfg := bertCfg(t, "0.64B", SystemMPress)
+	jobs := make([]*Job, 4)
+	for i := range jobs {
+		jobs[i] = mustJob(t, cfg)
+	}
+	r := New(Options{Workers: 4})
+	results := r.RunAll(context.Background(), jobs)
+	for i, jr := range results {
+		if jr.Err != nil {
+			t.Fatalf("job %d: %v", i, jr.Err)
+		}
+		if i > 0 && !reflect.DeepEqual(jr.Report, results[0].Report) {
+			t.Errorf("job %d's report differs", i)
+		}
+	}
+	st := r.Stats()
+	if st.PlanComputes != 1 {
+		t.Errorf("identical concurrent jobs ran the planner %d times, want 1", st.PlanComputes)
+	}
+	if st.PlanCacheHits != 3 {
+		t.Errorf("plan cache hits = %d, want 3", st.PlanCacheHits)
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := New(Options{Workers: 2})
+	results := r.RunConfigs(ctx, []Config{
+		bertCfg(t, "0.64B", SystemMPress),
+		bertCfg(t, "0.64B", SystemPlain),
+	})
+	for i, jr := range results {
+		if !errors.Is(jr.Err, context.Canceled) {
+			t.Errorf("job %d: want context.Canceled, got %v", i, jr.Err)
+		}
+		if jr.Report != nil {
+			t.Errorf("job %d produced a report despite cancellation", i)
+		}
+	}
+}
+
+func TestRunConfigsSlotsValidationErrors(t *testing.T) {
+	good := bertCfg(t, "0.64B", SystemPlain)
+	results := New(Options{Workers: 2}).RunConfigs(context.Background(),
+		[]Config{good, {}, good})
+	if len(results) != 3 {
+		t.Fatalf("got %d results for 3 configs", len(results))
+	}
+	if results[1].Err == nil {
+		t.Error("empty config did not error")
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil {
+			t.Errorf("job %d: %v", i, results[i].Err)
+		}
+		if results[i].Report == nil {
+			t.Errorf("job %d has no report", i)
+		}
+	}
+}
+
+func TestTrainRejectsInvalidConfig(t *testing.T) {
+	if _, err := Train(Config{}); err == nil {
+		t.Error("Train accepted an empty config")
+	}
+}
+
+func TestStageTimesRecorded(t *testing.T) {
+	j := mustJob(t, bertCfg(t, "0.64B", SystemRecompute))
+	r := New(Options{Workers: 1})
+	res := r.Run(context.Background(), j)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	for _, stage := range []string{"partition", "build", "plan", "apply", "execute", "report"} {
+		if _, ok := res.StageTimes[stage]; !ok {
+			t.Errorf("stage %q missing from StageTimes", stage)
+		}
+	}
+	if res.Elapsed <= 0 {
+		t.Error("Elapsed not recorded")
+	}
+	st := r.Stats()
+	if st.PlanTime <= 0 || st.ExecTime <= 0 {
+		t.Errorf("stats timings not accumulated: plan %v, exec %v", st.PlanTime, st.ExecTime)
+	}
+}
+
+func TestKeepArtifacts(t *testing.T) {
+	cfg := bertCfg(t, "0.64B", SystemRecompute)
+	j := mustJob(t, cfg)
+	res := New(Options{Workers: 1, KeepArtifacts: true}).Run(context.Background(), j)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.State == nil || res.State.Built == nil || res.State.Exec == nil {
+		t.Fatal("KeepArtifacts did not retain the pipeline state")
+	}
+	if res2 := New(Options{Workers: 1}).Run(context.Background(), j); res2.State != nil {
+		t.Error("State retained without KeepArtifacts")
+	}
+}

@@ -1,0 +1,265 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+
+	"mpress/internal/exec"
+	"mpress/internal/hw"
+	"mpress/internal/pipeline"
+	"mpress/internal/plan"
+	"mpress/internal/zero"
+)
+
+// canonicalMinibatches is the minibatch count cached plans are
+// computed at. Plans for other counts are rebased from the canonical
+// one (plan.Rebase), so the cached entry is identical no matter which
+// sweep point computes it first — a requirement for deterministic
+// results under concurrency.
+const canonicalMinibatches = 2
+
+// State carries one job through its stages. Stages communicate only
+// through it, so a custom driver can run a prefix of the pipeline and
+// inspect the intermediates (the Fig. 9 ablation does exactly that).
+type State struct {
+	Job *Job
+
+	// Part is the stage partition (after Partition).
+	Part pipeline.Partition
+	// Built is the lowered job at the job's own minibatch count
+	// (after Build).
+	Built *pipeline.Built
+	// Plan is the compaction plan (after Plan; nil for SystemPlain),
+	// and Mapping the stage→GPU assignment the job will execute with.
+	Plan    *plan.Plan
+	Mapping []hw.DeviceID
+	// PlanCacheHit reports that the Plan stage reused a cached plan.
+	PlanCacheHit bool
+	// ExecOpts is the instrumented executor configuration (after
+	// Apply), Exec the raw simulation result (after Execute), and
+	// Report the job's outcome (after Report).
+	ExecOpts *exec.Options
+	Exec     *exec.Result
+	Report   *Report
+
+	// shared marks virtual-stage runs (several stages per GPU).
+	shared bool
+	// cache is the runner's plan cache (nil runs the planner inline).
+	cache *planCache
+}
+
+// Stage is one composable step of the job pipeline.
+type Stage struct {
+	Name string
+	Run  func(ctx context.Context, st *State) error
+}
+
+// stagesFor returns the job's stage sequence. ZeRO baselines use an
+// analytic model with no partition/plan phases, so their pipeline is
+// just Execute → Report.
+func stagesFor(j *Job) []Stage {
+	if j.Config.System.IsZeRO() {
+		return []Stage{
+			{"execute", stageZeRO},
+		}
+	}
+	return []Stage{
+		{"partition", stagePartition},
+		{"build", stageBuild},
+		{"plan", stagePlan},
+		{"apply", stageApply},
+		{"execute", stageExecute},
+		{"report", stageReport},
+	}
+}
+
+// buildFn returns a builder closure for the config at the given
+// minibatch count — the planner emulates fresh copies through it.
+func buildFn(c Config, part pipeline.Partition, minibatches int) func() (*pipeline.Built, error) {
+	return func() (*pipeline.Built, error) {
+		return pipeline.Build(pipeline.BuildConfig{
+			Model: c.Model, Prec: *c.Precision, Part: part, Kind: c.Schedule,
+			MicrobatchSize: c.MicrobatchSize,
+			Microbatches:   c.Microbatches,
+			Minibatches:    minibatches,
+		})
+	}
+}
+
+func stagePartition(ctx context.Context, st *State) error {
+	c := st.Job.Config
+	if c.Stages > c.Topology.NumGPUs && c.System != SystemPlain {
+		return fmt.Errorf("mpress: virtual stages (Stages %d > %d GPUs) are only supported with SystemPlain", c.Stages, c.Topology.NumGPUs)
+	}
+	part, err := pipeline.PartitionModel(c.Model, c.Stages, c.Strategy, c.Schedule,
+		*c.Precision, c.MicrobatchSize, c.Microbatches)
+	if err != nil {
+		return err
+	}
+	st.Part = part
+	return nil
+}
+
+func stageBuild(ctx context.Context, st *State) error {
+	c := st.Job.Config
+	b, err := buildFn(c, st.Part, c.Minibatches)()
+	if err != nil {
+		return err
+	}
+	st.Built = b
+	return nil
+}
+
+// allowedFor translates a system into the planner's mechanism set.
+func allowedFor(s System) (plan.Allowed, error) {
+	switch s {
+	case SystemGPUCPUSwap:
+		return plan.Allowed{HostSwap: true}, nil
+	case SystemRecompute:
+		return plan.Allowed{Recompute: true}, nil
+	case SystemMPressD2D:
+		return plan.Allowed{D2D: true}, nil
+	case SystemMPress:
+		return plan.AllMechanisms(), nil
+	default:
+		return plan.Allowed{}, fmt.Errorf("mpress: unknown system %v", s)
+	}
+}
+
+func stagePlan(ctx context.Context, st *State) error {
+	c := st.Job.Config
+	if c.System == SystemPlain {
+		// No planner: run the job as-is. More stages than GPUs become
+		// virtual pipeline stages, wrapped around the devices.
+		mapping := exec.IdentityMapping(c.Stages)
+		if c.Stages > c.Topology.NumGPUs {
+			st.shared = true
+			for s := range mapping {
+				mapping[s] = hw.DeviceID(s % c.Topology.NumGPUs)
+			}
+		}
+		st.Mapping = mapping
+		return nil
+	}
+
+	allowed, err := allowedFor(c.System)
+	if err != nil {
+		return err
+	}
+	compute := func() (*plan.Plan, error) {
+		return plan.Compute(plan.Options{
+			Topo:                 c.Topology,
+			Build:                buildFn(c, st.Part, canonicalMinibatches),
+			Allowed:              allowed,
+			DisableMappingSearch: c.DisableMappingSearch,
+			DisableStriping:      c.DisableStriping,
+			Ctx:                  ctx,
+		})
+	}
+	var pl *plan.Plan
+	if st.cache != nil {
+		pl, st.PlanCacheHit, err = st.cache.getOrCompute(st.Job.PlanKey(), compute)
+	} else {
+		pl, err = compute()
+	}
+	if err != nil {
+		return err
+	}
+	if c.Minibatches != canonicalMinibatches {
+		from, err := buildFn(c, st.Part, canonicalMinibatches)()
+		if err != nil {
+			return err
+		}
+		if pl, err = plan.Rebase(pl, from, st.Built); err != nil {
+			return err
+		}
+	}
+	st.Plan = pl
+	st.Mapping = pl.Mapping
+	return nil
+}
+
+func stageApply(ctx context.Context, st *State) error {
+	c := st.Job.Config
+	if c.System == SystemPlain {
+		st.ExecOpts = &exec.Options{
+			Topo: c.Topology, Built: st.Built,
+			Mapping:            st.Mapping,
+			AllowSharedDevices: st.shared,
+		}
+		return nil
+	}
+	opts, err := plan.Apply(st.Plan, st.Built, c.Topology)
+	if err != nil {
+		return err
+	}
+	st.ExecOpts = opts
+	return nil
+}
+
+func stageExecute(ctx context.Context, st *State) error {
+	opts := *st.ExecOpts
+	opts.Ctx = ctx
+	res, err := exec.Run(opts)
+	if err != nil {
+		return err
+	}
+	st.Exec = res
+	return nil
+}
+
+func stageReport(ctx context.Context, st *State) error {
+	st.Report = reportFrom(st.Job.Config, st.Exec, st.Plan, st.Mapping)
+	return nil
+}
+
+// stageZeRO runs the analytic data-parallel baseline and assembles its
+// report directly.
+func stageZeRO(ctx context.Context, st *State) error {
+	c := st.Job.Config
+	variant := map[System]zero.Variant{
+		SystemZeRO3:        zero.ZeRO3,
+		SystemZeROOffload:  zero.ZeROOffload,
+		SystemZeROInfinity: zero.ZeROInfinity,
+	}[c.System]
+	res, err := zero.Run(zero.Config{
+		Topo:           c.Topology,
+		Model:          c.Model,
+		Prec:           *c.Precision,
+		Variant:        variant,
+		MicrobatchSize: c.MicrobatchSize,
+		GradAccum:      c.Microbatches,
+		Steps:          c.Minibatches,
+	})
+	if err != nil {
+		return err
+	}
+	rep := &Report{Config: c, OOM: res.OOM}
+	if res.OOM == nil {
+		rep.Duration = res.Duration
+		rep.TFLOPS = res.TFLOPS
+		rep.SamplesPerSec = res.SamplesPerSec
+		rep.HostPeak = res.HostPeak
+		rep.PerGPUPeak = append(rep.PerGPUPeak, res.PerGPUPeak...)
+	}
+	st.Report = rep
+	return nil
+}
+
+// reportFrom assembles the Report for a pipeline-system run.
+func reportFrom(c Config, res *exec.Result, pl *plan.Plan, mapping []hw.DeviceID) *Report {
+	rep := &Report{Config: c, OOM: res.OOM, Plan: pl, Mapping: mapping}
+	if res.OOM == nil {
+		rep.Duration = res.Duration
+		rep.TFLOPS = res.TFLOPS
+		rep.SamplesPerSec = res.SamplesPerSec
+		rep.HostPeak = res.Host.Peak
+		rep.NVLinkBytes = res.Fabric.NVLinkBytes
+		rep.PCIeBytes = res.Fabric.PCIeBytes
+		rep.NVMeBytes = res.Fabric.NVMeBytes
+		for _, g := range res.GPUs {
+			rep.PerGPUPeak = append(rep.PerGPUPeak, g.Peak)
+		}
+	}
+	return rep
+}

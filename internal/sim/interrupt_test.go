@@ -1,0 +1,68 @@
+package sim
+
+import "testing"
+
+// chain schedules n self-perpetuating events so Run has work to poll
+// the interrupt hook against.
+func chain(s *Sim, n int) {
+	var step func()
+	left := n
+	step = func() {
+		left--
+		if left > 0 {
+			s.After(1, step)
+		}
+	}
+	s.After(1, step)
+}
+
+func TestInterruptStopsRun(t *testing.T) {
+	s := New()
+	s.InterruptEvery = 10
+	polls := 0
+	s.Interrupt = func() bool {
+		polls++
+		return polls >= 3
+	}
+	chain(s, 1000)
+	s.Run()
+	if !s.Interrupted {
+		t.Fatal("run drained instead of honoring the interrupt")
+	}
+	if s.Executed() >= 1000 {
+		t.Errorf("all %d events ran despite the interrupt", s.Executed())
+	}
+	// The hook is polled on the stride, not per event.
+	if want := int(s.Executed() / 10); polls != want {
+		t.Errorf("polled %d times over %d events (stride 10), want %d", polls, s.Executed(), want)
+	}
+}
+
+func TestInterruptedResetsBetweenRuns(t *testing.T) {
+	s := New()
+	s.InterruptEvery = 1
+	s.Interrupt = func() bool { return true }
+	chain(s, 10)
+	s.Run()
+	if !s.Interrupted {
+		t.Fatal("first run should be interrupted")
+	}
+	s.Interrupt = nil
+	chain(s, 10)
+	s.Run()
+	if s.Interrupted {
+		t.Error("Interrupted flag not reset by the second Run")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("%d events left after an uninterrupted run", s.Pending())
+	}
+}
+
+func TestNoInterruptHookDrains(t *testing.T) {
+	s := New()
+	chain(s, 100)
+	s.Run()
+	if s.Interrupted || s.Pending() != 0 {
+		t.Errorf("interrupted=%v pending=%d after a plain run", s.Interrupted, s.Pending())
+	}
+}

@@ -56,6 +56,17 @@ type Sim struct {
 	// default of 200M events. It exists to turn accidental infinite
 	// event loops into diagnosable failures.
 	MaxEvents int64
+	// Interrupt, when set, is polled every InterruptEvery processed
+	// events; when it returns true, Run stops as if Stop had been
+	// called. It exists so a long simulation can honor external
+	// cancellation (a context, a signal) without per-event overhead.
+	Interrupt func() bool
+	// InterruptEvery is the polling stride; zero means the default of
+	// 8192 events.
+	InterruptEvery int64
+	// Interrupted reports whether the last Run was halted by the
+	// Interrupt hook (as opposed to draining its events or Stop).
+	Interrupted bool
 }
 
 // New returns a simulation positioned at time zero.
@@ -98,13 +109,22 @@ func (s *Sim) Run() Time {
 	if max == 0 {
 		max = 200_000_000
 	}
+	every := s.InterruptEvery
+	if every <= 0 {
+		every = 8192
+	}
 	s.stopped = false
+	s.Interrupted = false
 	for len(s.events) > 0 && !s.stopped {
 		e := heap.Pop(&s.events).(event)
 		s.now = e.at
 		s.executed++
 		if s.executed > max {
 			panic(fmt.Sprintf("sim: exceeded %d events at t=%v — runaway event loop?", max, s.now))
+		}
+		if s.Interrupt != nil && s.executed%every == 0 && s.Interrupt() {
+			s.Interrupted = true
+			break
 		}
 		e.fn()
 	}

@@ -83,7 +83,7 @@ func TestMemoryAccountingAdditive(t *testing.T) {
 			t.Fatalf("%v: %v", v, r.OOM)
 		}
 
-		perGPUState := r.PerGPUPeak // includes checkpoints/workspace too
+		perGPUState := r.PerGPUPeak[0] // includes checkpoints/workspace too
 		total := int64(perGPUState)*8 + int64(r.HostPeak) + int64(r.NVMePeak)
 		if total < full {
 			t.Errorf("%v: accounted %d bytes < persistent state %d", v, total, full)

@@ -95,8 +95,12 @@ type Result struct {
 	Duration      units.Duration
 	TFLOPS        float64
 	SamplesPerSec float64
-	// PerGPUPeak is identical on every rank by symmetry.
-	PerGPUPeak units.Bytes
+	// PerGPUPeak holds one entry per data-parallel rank. ZeRO's ranks
+	// partition model state evenly and run identical schedules, so the
+	// simulator models rank 0's timeline and the entries are equal by
+	// symmetry (asserted by TestPerGPUPeakSymmetry) — but the slice
+	// shape matches exec.Result so callers index it uniformly.
+	PerGPUPeak []units.Bytes
 	HostPeak   units.Bytes
 	NVMePeak   units.Bytes
 }
@@ -126,7 +130,11 @@ func Run(c Config) (*Result, error) {
 
 	dur := c.simulate()
 	res := &Result{Duration: dur}
-	res.PerGPUPeak = c.gpuResident() + c.transientBytes()
+	rankPeak := c.gpuResident() + c.transientBytes()
+	res.PerGPUPeak = make([]units.Bytes, c.Topo.NumGPUs)
+	for i := range res.PerGPUPeak {
+		res.PerGPUPeak[i] = rankPeak
+	}
 	res.HostPeak = c.hostResident()
 	res.NVMePeak = c.nvmeResident()
 	flopsPerGPU := c.usefulFLOPs()

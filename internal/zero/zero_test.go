@@ -29,6 +29,26 @@ func run(t *testing.T, topo *hw.Topology, m model.Config, v Variant) *Result {
 	return r
 }
 
+// TestPerGPUPeakSymmetry pins the documented Result.PerGPUPeak
+// contract: one entry per rank, all equal, because every data-parallel
+// rank holds an even partition and runs an identical schedule.
+func TestPerGPUPeakSymmetry(t *testing.T) {
+	for _, v := range []Variant{ZeRO3, ZeROOffload, ZeROInfinity} {
+		r := run(t, hw.DGX1WithNVMe(), gptCfg(t, "10.3B"), v)
+		if r.OOM != nil {
+			t.Fatalf("%v: %v", v, r.OOM)
+		}
+		if len(r.PerGPUPeak) != hw.DGX1WithNVMe().NumGPUs {
+			t.Fatalf("%v: %d peak entries for %d ranks", v, len(r.PerGPUPeak), hw.DGX1WithNVMe().NumGPUs)
+		}
+		for i, p := range r.PerGPUPeak {
+			if p == 0 || p != r.PerGPUPeak[0] {
+				t.Errorf("%v: rank %d peak %v breaks symmetry with rank 0 (%v)", v, i, p, r.PerGPUPeak[0])
+			}
+		}
+	}
+}
+
 func TestVariantString(t *testing.T) {
 	if ZeRO3.String() != "ZeRO-3" || ZeROOffload.String() != "ZeRO-Offload" ||
 		ZeROInfinity.String() != "ZeRO-Infinity" {
@@ -102,9 +122,9 @@ func TestZeRO3MemorySmallest(t *testing.T) {
 		t.Fatalf("ZeRO-3 OOM: %v", z3.OOM)
 	}
 	// GPU residency strictly shrinks as more state moves off-device.
-	if !(inf.PerGPUPeak < off.PerGPUPeak && off.PerGPUPeak < z3.PerGPUPeak) {
+	if !(inf.PerGPUPeak[0] < off.PerGPUPeak[0] && off.PerGPUPeak[0] < z3.PerGPUPeak[0]) {
 		t.Errorf("residency ordering wrong: %v < %v < %v",
-			inf.PerGPUPeak, off.PerGPUPeak, z3.PerGPUPeak)
+			inf.PerGPUPeak[0], off.PerGPUPeak[0], z3.PerGPUPeak[0])
 	}
 	// Offload's host footprint is the full fp32 optimizer state.
 	wantHost := units.Bytes(m.TotalParams() * 12)

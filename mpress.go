@@ -26,17 +26,14 @@
 package mpress
 
 import (
-	"fmt"
-
-	"mpress/internal/exec"
 	"mpress/internal/hw"
 	"mpress/internal/memsim"
 	"mpress/internal/model"
 	"mpress/internal/pipeline"
 	"mpress/internal/plan"
+	"mpress/internal/runner"
 	"mpress/internal/tensor"
 	"mpress/internal/units"
-	"mpress/internal/zero"
 )
 
 // Re-exported building blocks, so that downstream users need only
@@ -161,292 +158,74 @@ func MustGPT(size string) Model {
 
 // System selects which training system runs the job — the paper's
 // evaluation compares exactly these (Figs. 7 and 8).
-type System int
+type System = runner.System
 
 const (
 	// SystemPlain is the unmodified pipeline system (PipeDream or
 	// DAPPLE per Config.Schedule), no memory saving.
-	SystemPlain System = iota
+	SystemPlain = runner.SystemPlain
 	// SystemGPUCPUSwap enables only PCIe swapping to host memory.
-	SystemGPUCPUSwap
+	SystemGPUCPUSwap = runner.SystemGPUCPUSwap
 	// SystemRecompute enables only activation recomputation.
-	SystemRecompute
+	SystemRecompute = runner.SystemRecompute
 	// SystemMPressD2D is MPress restricted to D2D swap.
-	SystemMPressD2D
+	SystemMPressD2D = runner.SystemMPressD2D
 	// SystemMPress is the full system (D2D + GPU-CPU swap +
 	// recomputation, with device mapping and data striping).
-	SystemMPress
+	SystemMPress = runner.SystemMPress
 	// SystemZeRO3, SystemZeROOffload and SystemZeROInfinity are the
 	// data-parallel DeepSpeed baselines; Config.Schedule is ignored.
-	SystemZeRO3
-	SystemZeROOffload
-	SystemZeROInfinity
+	SystemZeRO3        = runner.SystemZeRO3
+	SystemZeROOffload  = runner.SystemZeROOffload
+	SystemZeROInfinity = runner.SystemZeROInfinity
 )
 
-// String names the system as the paper's figures do.
-func (s System) String() string {
-	switch s {
-	case SystemPlain:
-		return "Pipeline"
-	case SystemGPUCPUSwap:
-		return "GPU-CPU Swap"
-	case SystemRecompute:
-		return "Recomputation"
-	case SystemMPressD2D:
-		return "MPress-D2D"
-	case SystemMPress:
-		return "MPress"
-	case SystemZeRO3:
-		return "ZeRO-3"
-	case SystemZeROOffload:
-		return "ZeRO-Offload"
-	case SystemZeROInfinity:
-		return "ZeRO-Infinity"
-	default:
-		return fmt.Sprintf("System(%d)", int(s))
-	}
-}
+// Config describes one training job; Report is its outcome. Both live
+// in internal/runner — the facade aliases them so existing callers
+// and the Runner API share one set of types.
+type (
+	Config = runner.Config
+	Report = runner.Report
+)
 
-// Config describes one training job.
-type Config struct {
-	// Topology is required.
-	Topology *Topology
-	// Model is required (see MustBert/MustGPT or build your own).
-	Model Model
-	// Schedule defaults to DAPPLE; Strategy to ComputeBalanced.
-	Schedule Schedule
-	Strategy Strategy
-	// Precision defaults to mixed-precision Adam for fp16 models and
-	// full-precision Adam for fp32 ones.
-	Precision *Precision
-	// Stages defaults to the GPU count.
-	Stages int
-	// MicrobatchSize defaults to 2; Microbatches (per minibatch) to
-	// 4× the stage count; Minibatches to 2.
-	MicrobatchSize int
-	Microbatches   int
-	Minibatches    int
-	// System defaults to SystemMPress.
-	System System
-	// DisableMappingSearch / DisableStriping are the Fig. 9 ablation
-	// knobs (only meaningful for the MPress systems).
-	DisableMappingSearch bool
-	DisableStriping      bool
-}
+// The Job/Runner layer, for batch workloads: validate Configs into
+// Jobs with NewJob, then push them through a Runner's worker pool with
+// RunAll. Jobs that share a plan (same point, different Minibatches)
+// hit the runner's fingerprint-keyed plan cache instead of
+// re-searching. See "Running sweeps in parallel" in the README.
+type (
+	// Runner executes jobs through a bounded worker pool over a
+	// shared, singleflight-deduplicated plan cache.
+	Runner = runner.Runner
+	// RunnerOptions configures a Runner (worker count, callbacks).
+	RunnerOptions = runner.Options
+	// RunnerStats reports a runner's job and plan-cache counters.
+	RunnerStats = runner.Stats
+	// Job is a validated Config plus its canonical fingerprint.
+	Job = runner.Job
+	// JobResult pairs a Job with its Report, error and timings.
+	JobResult = runner.JobResult
+)
 
-// withDefaults validates and fills defaults.
-func (c Config) withDefaults() (Config, error) {
-	if c.Topology == nil {
-		return c, fmt.Errorf("mpress: Topology is required")
-	}
-	if err := c.Topology.Validate(); err != nil {
-		return c, err
-	}
-	if err := c.Model.Validate(); err != nil {
-		return c, err
-	}
-	if c.Stages == 0 {
-		c.Stages = c.Topology.NumGPUs
-	}
-	if c.MicrobatchSize == 0 {
-		c.MicrobatchSize = 2
-	}
-	if c.Microbatches == 0 {
-		// 4× the stage count keeps the 1F1B bubble under ~20%, the
-		// regime pipeline systems are run in.
-		c.Microbatches = 4 * c.Stages
-	}
-	if c.Minibatches == 0 {
-		c.Minibatches = 2
-	}
-	if c.Precision == nil {
-		p := model.MixedAdam()
-		if c.Model.DType == tensor.FP32 {
-			p = model.FP32Adam()
-		}
-		c.Precision = &p
-	}
-	return c, nil
-}
+// NewRunner returns a Runner with the given options.
+func NewRunner(opts RunnerOptions) *Runner { return runner.New(opts) }
 
-// Report is the outcome of one training job.
-type Report struct {
-	Config Config
-	// OOM is non-nil when the job died of out-of-memory — the red
-	// crosses of Fig. 7.
-	OOM *OOMError
-	// Duration is simulated wall-clock; TFLOPS and SamplesPerSec are
-	// the paper's throughput metrics (zero when OOM).
-	Duration      Duration
-	TFLOPS        float64
-	SamplesPerSec float64
-	// PerGPUPeak is each GPU's peak memory (Fig. 2's bars).
-	PerGPUPeak []Bytes
-	HostPeak   Bytes
-	// Interconnect traffic of the run (zero for the ZeRO baselines,
-	// whose analytic model does not route per-byte traffic).
-	NVLinkBytes Bytes
-	PCIeBytes   Bytes
-	NVMeBytes   Bytes
-	// Plan is the MPress compaction plan (nil for baselines), and
-	// Mapping the stage→GPU assignment used.
-	Plan    *Plan
-	Mapping []hw.DeviceID
-}
-
-// Failed reports whether the job hit OOM.
-func (r *Report) Failed() bool { return r.OOM != nil }
+// NewJob validates a Config into a runnable, fingerprinted Job.
+func NewJob(cfg Config) (*Job, error) { return runner.NewJob(cfg) }
 
 // Train simulates one training job under the configured system and
 // returns its report. OOM is reported in the Report (matching how the
 // paper's figures show failed runs); errors indicate invalid
-// configuration.
+// configuration. Each call runs on a fresh single-worker Runner; batch
+// workloads should build a shared Runner and use RunAll instead.
 func Train(cfg Config) (*Report, error) {
-	c, err := cfg.withDefaults()
-	if err != nil {
-		return nil, err
-	}
-	switch c.System {
-	case SystemZeRO3, SystemZeROOffload, SystemZeROInfinity:
-		return trainZeRO(c)
-	default:
-		return trainPipeline(c)
-	}
-}
-
-func trainZeRO(c Config) (*Report, error) {
-	variant := map[System]zero.Variant{
-		SystemZeRO3:        zero.ZeRO3,
-		SystemZeROOffload:  zero.ZeROOffload,
-		SystemZeROInfinity: zero.ZeROInfinity,
-	}[c.System]
-	res, err := zero.Run(zero.Config{
-		Topo:           c.Topology,
-		Model:          c.Model,
-		Prec:           *c.Precision,
-		Variant:        variant,
-		MicrobatchSize: c.MicrobatchSize,
-		GradAccum:      c.Microbatches,
-		Steps:          c.Minibatches,
-	})
-	if err != nil {
-		return nil, err
-	}
-	rep := &Report{Config: c, OOM: res.OOM}
-	if res.OOM == nil {
-		rep.Duration = res.Duration
-		rep.TFLOPS = res.TFLOPS
-		rep.SamplesPerSec = res.SamplesPerSec
-		rep.HostPeak = res.HostPeak
-		for i := 0; i < c.Topology.NumGPUs; i++ {
-			rep.PerGPUPeak = append(rep.PerGPUPeak, res.PerGPUPeak)
-		}
-	}
-	return rep, nil
-}
-
-func trainPipeline(c Config) (*Report, error) {
-	part, err := pipeline.PartitionModel(c.Model, c.Stages, c.Strategy, c.Schedule,
-		*c.Precision, c.MicrobatchSize, c.Microbatches)
-	if err != nil {
-		return nil, err
-	}
-	build := func() (*pipeline.Built, error) {
-		return pipeline.Build(pipeline.BuildConfig{
-			Model: c.Model, Prec: *c.Precision, Part: part, Kind: c.Schedule,
-			MicrobatchSize: c.MicrobatchSize,
-			Microbatches:   c.Microbatches,
-			Minibatches:    c.Minibatches,
-		})
-	}
-
-	if c.Stages > c.Topology.NumGPUs && c.System != SystemPlain {
-		return nil, fmt.Errorf("mpress: virtual stages (Stages %d > %d GPUs) are only supported with SystemPlain", c.Stages, c.Topology.NumGPUs)
-	}
-	var allowed plan.Allowed
-	switch c.System {
-	case SystemPlain:
-		// No planner: run the job as-is. More stages than GPUs become
-		// virtual pipeline stages, wrapped around the devices.
-		b, err := build()
-		if err != nil {
-			return nil, err
-		}
-		mapping := exec.IdentityMapping(c.Stages)
-		shared := false
-		if c.Stages > c.Topology.NumGPUs {
-			shared = true
-			for s := range mapping {
-				mapping[s] = hw.DeviceID(s % c.Topology.NumGPUs)
-			}
-		}
-		res, err := exec.Run(exec.Options{
-			Topo: c.Topology, Built: b,
-			Mapping:            mapping,
-			AllowSharedDevices: shared,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return reportFrom(c, res, nil, mapping), nil
-	case SystemGPUCPUSwap:
-		allowed = plan.Allowed{HostSwap: true}
-	case SystemRecompute:
-		allowed = plan.Allowed{Recompute: true}
-	case SystemMPressD2D:
-		allowed = plan.Allowed{D2D: true}
-	case SystemMPress:
-		allowed = plan.AllMechanisms()
-	default:
-		return nil, fmt.Errorf("mpress: unknown system %v", c.System)
-	}
-
-	pl, err := plan.Compute(plan.Options{
-		Topo:                 c.Topology,
-		Build:                build,
-		Allowed:              allowed,
-		DisableMappingSearch: c.DisableMappingSearch,
-		DisableStriping:      c.DisableStriping,
-	})
-	if err != nil {
-		return nil, err
-	}
-	b, err := build()
-	if err != nil {
-		return nil, err
-	}
-	opts, err := plan.Apply(pl, b, c.Topology)
-	if err != nil {
-		return nil, err
-	}
-	res, err := exec.Run(*opts)
-	if err != nil {
-		return nil, err
-	}
-	return reportFrom(c, res, pl, pl.Mapping), nil
-}
-
-func reportFrom(c Config, res *exec.Result, pl *Plan, mapping []hw.DeviceID) *Report {
-	rep := &Report{Config: c, OOM: res.OOM, Plan: pl, Mapping: mapping}
-	if res.OOM == nil {
-		rep.Duration = res.Duration
-		rep.TFLOPS = res.TFLOPS
-		rep.SamplesPerSec = res.SamplesPerSec
-		rep.HostPeak = res.Host.Peak
-		rep.NVLinkBytes = res.Fabric.NVLinkBytes
-		rep.PCIeBytes = res.Fabric.PCIeBytes
-		rep.NVMeBytes = res.Fabric.NVMeBytes
-		for _, g := range res.GPUs {
-			rep.PerGPUPeak = append(rep.PerGPUPeak, g.Peak)
-		}
-	}
-	return rep
+	return runner.Train(cfg)
 }
 
 // Demand returns the analytic per-stage memory demand of a job (the
 // Table II / Fig. 2 quantity) without running it.
 func Demand(cfg Config) ([]Bytes, error) {
-	c, err := cfg.withDefaults()
+	c, err := cfg.WithDefaults()
 	if err != nil {
 		return nil, err
 	}
