@@ -7,11 +7,19 @@
 //	mpress-plan -model gpt-10.3B -schedule dapple -gantt
 //	mpress-plan -model bert-0.64B -save plan.json
 //	mpress-plan -model bert-0.64B -load plan.json -trace run.trace.json
+//	mpress-plan -model bert-1.67B -remote http://127.0.0.1:7323
+//
+// Saved plans record the job's canonical fingerprint as their label;
+// loading a plan under a different job is refused unless -force is
+// given. With -remote, planning and simulation are offloaded to a
+// running mpressd daemon (and its warm plan cache); the plan and trace
+// come back over the wire.
 //
 // The trace file loads in chrome://tracing or https://ui.perfetto.dev.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,7 +30,9 @@ import (
 	"mpress/internal/model"
 	"mpress/internal/pipeline"
 	"mpress/internal/plan"
-	"mpress/internal/tensor"
+	"mpress/internal/runner"
+	"mpress/internal/serve/api"
+	"mpress/internal/serve/client"
 	"mpress/internal/trace"
 )
 
@@ -65,8 +75,10 @@ func main() {
 	mb := flag.Int("mb", 0, "microbatch size (default 12 for Bert, 2 for GPT)")
 	saveTo := flag.String("save", "", "write the computed plan as JSON to this file")
 	loadFrom := flag.String("load", "", "load a previously saved plan instead of planning")
+	force := flag.Bool("force", false, "load a plan even if its job label mismatches this job")
 	traceTo := flag.String("trace", "", "write the run's Chrome trace JSON to this file")
 	gantt := flag.Bool("gantt", false, "render the run's pipeline diagram as ASCII art")
+	remote := flag.String("remote", "", "offload planning to a running mpressd at this base URL")
 	flag.Parse()
 
 	m, err := parseModel(*modelName)
@@ -99,27 +111,26 @@ func main() {
 			micro = 2
 		}
 	}
-	prec := model.MixedAdam()
-	if m.DType == tensor.FP32 {
-		prec = model.FP32Adam()
-	}
-	microbatches := 4 * topo.NumGPUs
-	job := fmt.Sprintf("%s/%s/%v/mb%d", m.Name, topo.Name, kind, micro)
 
-	part, err := pipeline.PartitionModel(m, topo.NumGPUs, pipeline.ComputeBalanced, kind, prec, micro, microbatches)
+	// The job as the runner sees it: its canonical fingerprint is the
+	// label saved plans carry and loads are checked against.
+	cfg := runner.Config{
+		Topology:       topo,
+		Model:          m,
+		Schedule:       kind,
+		System:         runner.SystemMPress,
+		MicrobatchSize: micro,
+	}
+	job, err := runner.NewJob(cfg)
 	if err != nil {
 		fail("%v", err)
 	}
-	build := func() (*pipeline.Built, error) {
-		return pipeline.Build(pipeline.BuildConfig{
-			Model: m, Prec: prec, Part: part, Kind: kind,
-			MicrobatchSize: micro, Microbatches: microbatches, Minibatches: 2,
-		})
-	}
+	c := job.Config
 
-	demand := pipeline.Demand(m, prec, part, kind, micro, microbatches)
+	demand := pipeline.Demand(c.Model, *c.Precision, mustPartition(c), c.Schedule, c.MicrobatchSize, c.Microbatches)
 	fmt.Printf("%s on %s, %v, microbatch %d\n", m.Name, topo.Name, kind, micro)
-	fmt.Printf("parameters: %.2fB   per-GPU capacity: %v\n\n", m.Billions(), topo.GPU.Memory)
+	fmt.Printf("parameters: %.2fB   per-GPU capacity: %v\n", m.Billions(), topo.GPU.Memory)
+	fmt.Printf("job fingerprint: %s\n\n", job.Fingerprint())
 	fmt.Println("per-stage memory demand:")
 	for s, d := range demand {
 		marker := ""
@@ -129,78 +140,52 @@ func main() {
 		fmt.Printf("  stage %d: %8.1f GiB%s\n", s, d.GiBf(), marker)
 	}
 
+	if *remote != "" {
+		runRemote(*remote, job, *saveTo, *traceTo, *loadFrom, *gantt)
+		return
+	}
+
 	var pl *plan.Plan
+	var jr runner.JobResult
 	if *loadFrom != "" {
 		f, err := os.Open(*loadFrom)
 		if err != nil {
 			fail("%v", err)
 		}
-		var savedJob string
-		pl, savedJob, err = plan.Load(f)
+		pl, err = job.LoadPlan(f, *force)
 		f.Close()
 		if err != nil {
 			fail("%v", err)
-		}
-		if savedJob != job {
-			fail("plan was computed for %q, this invocation is %q", savedJob, job)
 		}
 		fmt.Printf("\nloaded plan from %s\n", *loadFrom)
+		jr = runWithPlan(job, pl)
 	} else {
-		pl, err = plan.Compute(plan.Options{Topo: topo, Build: build, Allowed: plan.AllMechanisms()})
-		if err != nil {
-			fail("%v", err)
+		jr = runner.New(runner.Options{Workers: 1}).RunKeep(context.Background(), job)
+		if jr.Err != nil {
+			fail("%v", jr.Err)
 		}
+		pl = jr.Report.Plan
 		fmt.Printf("\nplanner emulations: %d\n", pl.Emulations)
 	}
+	if jr.Err != nil {
+		fail("%v", jr.Err)
+	}
 	if *saveTo != "" {
-		f, err := os.Create(*saveTo)
-		if err != nil {
-			fail("%v", err)
-		}
-		if err := pl.Save(f, job); err != nil {
-			fail("%v", err)
-		}
-		f.Close()
-		fmt.Printf("plan saved to %s\n", *saveTo)
+		savePlan(job, pl, *saveTo)
 	}
 
-	fmt.Printf("device mapping (stage -> GPU): %v\n", pl.Mapping)
-	fmt.Println("memory-saving plan:")
-	for _, mech := range []plan.Mechanism{plan.MechRecompute, plan.MechHostSwap, plan.MechD2D} {
-		saved := pl.SavedByMech[mech]
-		r := pl.StageRange[mech]
-		if r[0] < 0 {
-			fmt.Printf("  %-14v not used\n", mech)
-			continue
-		}
-		fmt.Printf("  %-14v stages %d-%d, saves %v\n", mech, r[0], r[1], saved)
-	}
-
-	b, err := build()
-	if err != nil {
-		fail("%v", err)
-	}
-	opts, err := plan.Apply(pl, b, topo)
-	if err != nil {
-		fail("%v", err)
-	}
-	res, err := exec.Run(*opts)
-	if err != nil {
-		fail("%v", err)
-	}
-	if res.OOM != nil {
-		fmt.Printf("\nresult: OOM (%v)\n", res.OOM)
-		for k, v := range res.OOMResidents {
-			fmt.Printf("  resident %s: %v\n", k, v)
-		}
+	printPlan(pl)
+	rep := jr.Report
+	if rep.Failed() {
+		fmt.Printf("\nresult: OOM (%v)\n", rep.OOM)
 		os.Exit(3)
 	}
 	fmt.Printf("\nthroughput: %.1f TFLOPS, %.1f samples/s (simulated %v)\n",
-		res.TFLOPS, res.SamplesPerSec, res.Duration)
+		rep.TFLOPS, rep.SamplesPerSec, rep.Duration)
 	fmt.Printf("traffic: NVLink %v, PCIe %v, NVMe %v\n",
-		res.Fabric.NVLinkBytes, res.Fabric.PCIeBytes, res.Fabric.NVMeBytes)
+		rep.NVLinkBytes, rep.PCIeBytes, rep.NVMeBytes)
 
-	tl := trace.Collect(b, res)
+	tl := trace.Collect(jr.State.Built, jr.State.Exec)
 	if *gantt {
 		fmt.Println()
 		tl.WriteGantt(os.Stdout)
@@ -219,5 +204,149 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("trace written to %s\n", *traceTo)
+	}
+}
+
+// runRemote offloads the job to an mpressd daemon and renders the same
+// summary from the wire response.
+func runRemote(baseURL string, job *runner.Job, saveTo, traceTo, loadFrom string, gantt bool) {
+	if loadFrom != "" {
+		fail("-load is local-only (the daemon always plans); drop -remote to replay a saved plan")
+	}
+	if gantt {
+		fail("-gantt needs the local run's full timeline; drop -remote")
+	}
+	ctx := context.Background()
+	cl := client.New(baseURL)
+	resp, err := cl.PlanWait(ctx, job.Config, "")
+	if err != nil {
+		fail("remote: %v", err)
+	}
+	hit := ""
+	if resp.PlanCacheHit {
+		hit = " (plan cache hit)"
+	}
+	fmt.Printf("\nplanned remotely by %s in %.0fms%s, job %s\n", baseURL, resp.ElapsedMS, hit, resp.ID)
+
+	pl := decodeRemotePlan(job, resp)
+	if saveTo != "" {
+		// The daemon serialized the plan with the job's fingerprint
+		// label; persist it in canonical plan.Save bytes (transport
+		// re-indents the embedded file).
+		canonical, err := resp.CanonicalPlanFile()
+		if err != nil {
+			fail("remote plan: %v", err)
+		}
+		if err := os.WriteFile(saveTo, canonical, 0o644); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("plan saved to %s\n", saveTo)
+	}
+	printPlan(pl)
+
+	rep := resp.Report
+	if rep.Failed() {
+		fmt.Printf("\nresult: OOM (%v)\n", rep.OOM)
+		os.Exit(3)
+	}
+	fmt.Printf("\nthroughput: %.1f TFLOPS, %.1f samples/s (simulated %v)\n",
+		rep.TFLOPS, rep.SamplesPerSec, rep.Duration)
+	fmt.Printf("traffic: NVLink %v, PCIe %v, NVMe %v\n",
+		rep.NVLinkBytes, rep.PCIeBytes, rep.NVMeBytes)
+
+	if traceTo != "" {
+		f, err := os.Create(traceTo)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := cl.Trace(ctx, resp.ID, f); err != nil {
+			fail("remote trace: %v", err)
+		}
+		f.Close()
+		fmt.Printf("trace written to %s\n", traceTo)
+	}
+}
+
+// decodeRemotePlan validates the wire plan against the local job
+// fingerprint — the same check LoadPlan applies to files.
+func decodeRemotePlan(job *runner.Job, resp *api.PlanResponse) *plan.Plan {
+	if len(resp.Plan) == 0 {
+		fail("daemon returned no plan (fingerprint %s)", resp.Fingerprint)
+	}
+	pl, err := job.LoadPlan(strings.NewReader(string(resp.Plan)), false)
+	if err != nil {
+		fail("remote plan: %v", err)
+	}
+	return pl
+}
+
+// runWithPlan applies a loaded plan and executes the job under it,
+// producing the same JobResult shape as a planned run.
+func runWithPlan(job *runner.Job, pl *plan.Plan) runner.JobResult {
+	c := job.Config
+	part := mustPartition(c)
+	b, err := pipeline.Build(pipeline.BuildConfig{
+		Model: c.Model, Prec: *c.Precision, Part: part, Kind: c.Schedule,
+		MicrobatchSize: c.MicrobatchSize, Microbatches: c.Microbatches, Minibatches: c.Minibatches,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	opts, err := plan.Apply(pl, b, c.Topology)
+	if err != nil {
+		fail("%v", err)
+	}
+	res, err := exec.Run(*opts)
+	if err != nil {
+		fail("%v", err)
+	}
+	rep := &runner.Report{Config: c, OOM: res.OOM, Plan: pl, Mapping: pl.Mapping}
+	if res.OOM == nil {
+		rep.Duration = res.Duration
+		rep.TFLOPS = res.TFLOPS
+		rep.SamplesPerSec = res.SamplesPerSec
+		rep.HostPeak = res.Host.Peak
+		rep.NVLinkBytes = res.Fabric.NVLinkBytes
+		rep.PCIeBytes = res.Fabric.PCIeBytes
+		rep.NVMeBytes = res.Fabric.NVMeBytes
+		for _, g := range res.GPUs {
+			rep.PerGPUPeak = append(rep.PerGPUPeak, g.Peak)
+		}
+	}
+	return runner.JobResult{Job: job, Report: rep, State: &runner.State{Job: job, Built: b, Exec: res}}
+}
+
+func mustPartition(c runner.Config) pipeline.Partition {
+	part, err := pipeline.PartitionModel(c.Model, c.Stages, c.Strategy, c.Schedule,
+		*c.Precision, c.MicrobatchSize, c.Microbatches)
+	if err != nil {
+		fail("%v", err)
+	}
+	return part
+}
+
+func savePlan(job *runner.Job, pl *plan.Plan, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := job.SavePlan(f, pl); err != nil {
+		fail("%v", err)
+	}
+	f.Close()
+	fmt.Printf("plan saved to %s\n", path)
+}
+
+func printPlan(pl *plan.Plan) {
+	fmt.Printf("device mapping (stage -> GPU): %v\n", pl.Mapping)
+	fmt.Println("memory-saving plan:")
+	for _, mech := range []plan.Mechanism{plan.MechRecompute, plan.MechHostSwap, plan.MechD2D} {
+		saved := pl.SavedByMech[mech]
+		r := pl.StageRange[mech]
+		if r[0] < 0 {
+			fmt.Printf("  %-14v not used\n", mech)
+			continue
+		}
+		fmt.Printf("  %-14v stages %d-%d, saves %v\n", mech, r[0], r[1], saved)
 	}
 }

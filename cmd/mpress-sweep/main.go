@@ -66,6 +66,7 @@ func main() {
 	miniFlag := flag.String("minibatches", "", "comma-separated minibatch counts (default 2)")
 	sizesFlag := flag.String("sizes", "", "comma-separated variant sizes (default: all)")
 	jobs := flag.Int("jobs", 0, "concurrent training jobs (default GOMAXPROCS)")
+	cacheEntries := flag.Int("cache-entries", 0, "plan cache entry cap (0 default, negative unbounded)")
 	timeout := flag.Duration("timeout", 0, "abort the whole sweep after this long (default none)")
 	quiet := flag.Bool("quiet", false, "suppress the progress line and summary on stderr")
 	flag.Parse()
@@ -161,7 +162,8 @@ func main() {
 	var done atomic.Int64
 	var r *mpress.Runner
 	r = mpress.NewRunner(mpress.RunnerOptions{
-		Workers: *jobs,
+		Workers:          *jobs,
+		PlanCacheEntries: *cacheEntries,
 		OnJobDone: func(jr mpress.JobResult) {
 			if *quiet {
 				return
@@ -186,6 +188,7 @@ func main() {
 	}); err != nil {
 		fail("%v", err)
 	}
+	failed := 0
 	for i, jr := range results {
 		p := points[i]
 		mini := p.mini
@@ -199,6 +202,7 @@ func main() {
 		rep := jr.Report
 		switch {
 		case jr.Err != nil:
+			failed++
 			row = append(row, "error", "", "", "", "")
 		case rep.Failed():
 			row = append(row, "oom", "", "", "", "")
@@ -226,12 +230,18 @@ func main() {
 	if !*quiet {
 		st := r.Stats()
 		fmt.Fprintf(os.Stderr,
-			"mpress-sweep: %d jobs in %s (%d workers); plan cache: %d hits, %d misses, %d computed; plan %s, exec %s\n",
+			"mpress-sweep: %d jobs in %s (%d workers); plan cache: %d hits, %d misses, %d computed, %d evicted; plan %s, exec %s\n",
 			st.Jobs, elapsed.Round(time.Millisecond), r.Workers(),
-			st.PlanCacheHits, st.PlanCacheMisses, st.PlanComputes,
+			st.PlanCacheHits, st.PlanCacheMisses, st.PlanComputes, st.PlanCacheEvictions,
 			st.PlanTime.Round(time.Millisecond), st.ExecTime.Round(time.Millisecond))
 	}
 	if err := ctx.Err(); err != nil {
 		fail("sweep aborted: %v", err)
+	}
+	// Per-job errors are data in the CSV ("error" rows), but the
+	// process must not pretend the batch succeeded: scripts and CI
+	// gate on the exit code.
+	if failed > 0 {
+		fail("%d of %d jobs failed", failed, len(results))
 	}
 }

@@ -6,9 +6,11 @@
 //
 //	mpress-topo -topo dgx1
 //	mpress-topo -topo dgx2 -size 256MiB
+//	mpress-topo -topo dgx1 -json    # the topology as mpressd wire JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +24,7 @@ import (
 func main() {
 	topoName := flag.String("topo", "dgx1", "topology: dgx1, dgx1-nvme, dgx2, grace")
 	sizeStr := flag.String("size", "256MiB", "transfer size for the bandwidth probe")
+	asJSON := flag.Bool("json", false, "emit the topology as JSON (paste into an mpressd request) and exit")
 	flag.Parse()
 
 	var topo *hw.Topology
@@ -37,6 +40,15 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "mpress-topo: unknown topology %q\n", *topoName)
 		os.Exit(2)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(topo); err != nil {
+			fmt.Fprintf(os.Stderr, "mpress-topo: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	size, err := units.ParseBytes(*sizeStr)
 	if err != nil {

@@ -1,0 +1,68 @@
+// Command mpressd serves MPress planning over HTTP: clients POST a
+// training-job config and receive the simulation report plus the
+// memory-compaction plan in the plan.Save file format, computed
+// through a shared worker pool and a bounded LRU plan cache.
+//
+// Usage:
+//
+//	mpressd -addr :7323 -workers 4 -queue 16
+//
+// Endpoints: POST /v1/plan, POST /v1/sweep, GET /v1/jobs,
+// GET /v1/jobs/<id>/trace, GET /healthz, GET /metrics (Prometheus
+// text). A full queue answers 429 with Retry-After; SIGINT/SIGTERM
+// drain in-flight jobs before exit. See the README section "Running
+// mpressd".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mpress/internal/runner"
+	"mpress/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7323", "listen address")
+	workers := flag.Int("workers", 0, "concurrent planning jobs (default GOMAXPROCS)")
+	queue := flag.Int("queue", 16, "admission queue depth (in-service + waiting requests)")
+	cacheEntries := flag.Int("cache-entries", 0, "plan cache entry cap (0 default, negative unbounded)")
+	retain := flag.Int("retain", 64, "completed jobs retained for the trace endpoint")
+	timeout := flag.Duration("timeout", 2*time.Minute, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "cap on client-requested deadlines")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain bound")
+	flag.Parse()
+
+	srv := serve.New(serve.Options{
+		Runner: runner.Options{
+			Workers:          *workers,
+			PlanCacheEntries: *cacheEntries,
+		},
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		RetainJobs:     *retain,
+		DrainTimeout:   *drain,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpressd: %v\n", err)
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "mpressd: listening on http://%s (workers=%d queue=%d)\n",
+		ln.Addr(), srv.Runner().Workers(), *queue)
+	if err := srv.Serve(ctx, ln); err != nil {
+		fmt.Fprintf(os.Stderr, "mpressd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,10 +1,18 @@
 package runner
 
 import (
+	"container/list"
 	"sync"
 
 	"mpress/internal/plan"
+	"mpress/internal/units"
 )
+
+// DefaultPlanCacheEntries is the plan cache's default entry cap. It is
+// far above what a typical sweep computes (the full paper grid needs a
+// few dozen plans), so the default behaves like the old unbounded
+// cache for small sweeps while still bounding a long-lived daemon.
+const DefaultPlanCacheEntries = 512
 
 // planCache memoizes computed plans by Job.PlanKey with singleflight
 // deduplication: when several workers want the same key at once, one
@@ -12,22 +20,43 @@ import (
 // exactly once per key per runner. Plans are stored by pointer and
 // shared across jobs; that is safe because plan.Apply and plan.Rebase
 // only read the plan.
+//
+// The cache is LRU-bounded: at most cap settled entries are retained
+// (negative cap means unbounded), least-recently-used evicted first,
+// with an approximate byte size accounted per entry. In-flight
+// computations never count against the cap and are never evicted —
+// a waiter always receives the plan it blocked on.
 type planCache struct {
-	mu       sync.Mutex
-	entries  map[string]*cacheEntry
-	hits     int64
-	misses   int64
-	computes int64
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*cacheEntry
+	lru     *list.List // settled entries, front = most recent
+
+	hits      int64
+	misses    int64
+	computes  int64
+	evictions int64
+	bytes     units.Bytes
 }
 
 type cacheEntry struct {
+	key  string
 	done chan struct{} // closed when pl/err are settled
 	pl   *plan.Plan
 	err  error
+	size units.Bytes
+	elem *list.Element // nil while in flight
 }
 
-func newPlanCache() *planCache {
-	return &planCache{entries: make(map[string]*cacheEntry)}
+func newPlanCache(capacity int) *planCache {
+	if capacity == 0 {
+		capacity = DefaultPlanCacheEntries
+	}
+	return &planCache{
+		cap:     capacity,
+		entries: make(map[string]*cacheEntry),
+		lru:     list.New(),
+	}
 }
 
 // getOrCompute returns the cached plan for key, computing it via fn if
@@ -39,28 +68,76 @@ func (c *planCache) getOrCompute(key string, fn func() (*plan.Plan, error)) (pl 
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
 		c.mu.Unlock()
 		<-e.done
 		return e.pl, true, e.err
 	}
-	e := &cacheEntry{done: make(chan struct{})}
+	e := &cacheEntry{key: key, done: make(chan struct{})}
 	c.entries[key] = e
 	c.misses++
 	c.computes++
 	c.mu.Unlock()
 
 	e.pl, e.err = fn()
+	c.mu.Lock()
 	if e.err != nil {
-		c.mu.Lock()
 		delete(c.entries, key)
-		c.mu.Unlock()
+	} else {
+		e.size = planSize(e.pl)
+		e.elem = c.lru.PushFront(e)
+		c.bytes += e.size
+		c.evict()
 	}
+	c.mu.Unlock()
 	close(e.done)
 	return e.pl, false, e.err
 }
 
-func (c *planCache) stats() (hits, misses, computes int64) {
+// evict trims the settled-entry LRU down to cap. Called with mu held.
+func (c *planCache) evict() {
+	if c.cap < 0 {
+		return
+	}
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.bytes -= e.size
+		c.evictions++
+	}
+}
+
+func (c *planCache) stats() (hits, misses, computes, evictions int64, entries int, bytes units.Bytes) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.computes
+	return c.hits, c.misses, c.computes, c.evictions, c.lru.Len(), c.bytes
+}
+
+// planSize estimates a plan's resident footprint for cache accounting:
+// the per-tensor assignment maps dominate, so each entry is costed at
+// its approximate in-memory size. The estimate only has to be stable
+// and proportional — it drives eviction accounting, not allocation.
+func planSize(p *plan.Plan) units.Bytes {
+	if p == nil {
+		return 0
+	}
+	const (
+		mapEntry  = 48 // key + value + bucket overhead
+		partEntry = 40 // one fabric.Part
+	)
+	n := int64(len(p.Mapping)) * 8
+	n += int64(len(p.Act)) * mapEntry
+	n += int64(len(p.HostPersist)) * mapEntry
+	n += int64(len(p.SavedByMech)+len(p.StageRange)) * mapEntry
+	for _, parts := range p.Parts {
+		n += mapEntry + int64(len(parts))*partEntry
+	}
+	return units.Bytes(n + 128) // struct header
 }

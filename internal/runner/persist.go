@@ -1,0 +1,31 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+
+	"mpress/internal/plan"
+)
+
+// SavePlan persists pl in the plan.Save format with the job's
+// fingerprint recorded as the file's job label, so a later LoadPlan
+// can prove the plan belongs to this exact job.
+func (j *Job) SavePlan(w io.Writer, pl *plan.Plan) error {
+	return pl.Save(w, j.fp)
+}
+
+// LoadPlan reads a plan saved with SavePlan and enforces that its job
+// label matches this job's fingerprint: plans are positional (valid
+// only for the lowering they were computed against), so reusing one
+// across jobs silently corrupts the simulation. force skips the check
+// for deliberate cross-job reuse.
+func (j *Job) LoadPlan(r io.Reader, force bool) (*plan.Plan, error) {
+	pl, label, err := plan.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	if !force && label != j.fp {
+		return nil, fmt.Errorf("runner: plan was computed for job %s, this job is %s (use force to override)", label, j.fp)
+	}
+	return pl, nil
+}

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"mpress/internal/units"
 )
 
 // Options configures a Runner.
@@ -22,6 +24,11 @@ type Options struct {
 	// the worker goroutine that ran it, so it must be safe for
 	// concurrent use. Progress meters hang off this.
 	OnJobDone func(JobResult)
+	// PlanCacheEntries caps how many settled plans the runner's LRU
+	// cache retains. 0 means DefaultPlanCacheEntries (large enough
+	// that small sweeps behave as if unbounded); negative means
+	// unbounded.
+	PlanCacheEntries int
 }
 
 // JobResult pairs a job with its outcome.
@@ -53,6 +60,12 @@ type Stats struct {
 	PlanComputes    int64
 	PlanCacheHits   int64
 	PlanCacheMisses int64
+	// PlanCacheEvictions counts settled plans dropped by the LRU
+	// bound; PlanCacheEntries and PlanCacheBytes are the cache's
+	// current retained size.
+	PlanCacheEvictions int64
+	PlanCacheEntries   int
+	PlanCacheBytes     units.Bytes
 	// PlanTime and ExecTime accumulate real time across jobs in the
 	// planning and execution stages respectively.
 	PlanTime time.Duration
@@ -76,7 +89,7 @@ func New(opts Options) *Runner {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{opts: opts, cache: newPlanCache()}
+	return &Runner{opts: opts, cache: newPlanCache(opts.PlanCacheEntries)}
 }
 
 // Workers returns the pool size jobs run at.
@@ -87,6 +100,18 @@ func (r *Runner) Workers() int { return r.opts.Workers }
 // reported inside the Report, matching how the paper's figures show
 // failed runs.
 func (r *Runner) Run(ctx context.Context, j *Job) JobResult {
+	return r.run(ctx, j, r.opts.KeepArtifacts)
+}
+
+// RunKeep is Run with the job's State retained on the result
+// regardless of Options.KeepArtifacts — for callers (like the serving
+// layer's trace endpoint) that need one job's intermediates without
+// paying for artifact retention across a whole sweep.
+func (r *Runner) RunKeep(ctx context.Context, j *Job) JobResult {
+	return r.run(ctx, j, true)
+}
+
+func (r *Runner) run(ctx context.Context, j *Job, keep bool) JobResult {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -111,7 +136,7 @@ func (r *Runner) Run(ctx context.Context, j *Job) JobResult {
 	res.Report = st.Report
 	res.PlanCacheHit = st.PlanCacheHit
 	res.Elapsed = time.Since(start)
-	if r.opts.KeepArtifacts {
+	if keep {
 		res.State = st
 	}
 	r.mu.Lock()
@@ -190,16 +215,19 @@ func (r *Runner) RunConfigs(ctx context.Context, cfgs []Config) []JobResult {
 
 // Stats returns the runner's aggregate counters.
 func (r *Runner) Stats() Stats {
-	hits, misses, computes := r.cache.stats()
+	hits, misses, computes, evictions, entries, bytes := r.cache.stats()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return Stats{
-		Jobs:            r.jobs,
-		PlanComputes:    computes,
-		PlanCacheHits:   hits,
-		PlanCacheMisses: misses,
-		PlanTime:        r.planTime,
-		ExecTime:        r.execTime,
+		Jobs:               r.jobs,
+		PlanComputes:       computes,
+		PlanCacheHits:      hits,
+		PlanCacheMisses:    misses,
+		PlanCacheEvictions: evictions,
+		PlanCacheEntries:   entries,
+		PlanCacheBytes:     bytes,
+		PlanTime:           r.planTime,
+		ExecTime:           r.execTime,
 	}
 }
 

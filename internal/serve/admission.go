@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// admission is the daemon's bounded request queue: a request holds one
+// slot from the moment it is admitted until its response is written,
+// so at most depth requests are in service or waiting on runner
+// workers at once. A full queue rejects immediately (the HTTP layer
+// turns that into 429 + Retry-After) — under saturation the daemon
+// sheds load at the front door instead of stacking goroutines.
+type admission struct {
+	slots chan struct{}
+
+	mu sync.Mutex
+	// ewma tracks recent request service time so Retry-After reflects
+	// how fast the queue actually drains.
+	ewma time.Duration
+}
+
+func newAdmission(depth int) *admission {
+	return &admission{slots: make(chan struct{}, depth)}
+}
+
+// tryAcquire claims a slot without blocking.
+func (a *admission) tryAcquire() bool {
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns a slot and folds the request's service time into the
+// drain-rate estimate.
+func (a *admission) release(served time.Duration) {
+	<-a.slots
+	a.mu.Lock()
+	if a.ewma == 0 {
+		a.ewma = served
+	} else {
+		a.ewma = (3*a.ewma + served) / 4
+	}
+	a.mu.Unlock()
+}
+
+// depth returns the currently held slots and the capacity.
+func (a *admission) depth() (held, capacity int) {
+	return len(a.slots), cap(a.slots)
+}
+
+// retryAfter estimates how long a rejected caller should wait for a
+// slot to free: one average service time, clamped to [1s, 60s] so the
+// hint is never zero and never parks clients for minutes.
+func (a *admission) retryAfter() time.Duration {
+	a.mu.Lock()
+	d := a.ewma
+	a.mu.Unlock()
+	if d < time.Second {
+		return time.Second
+	}
+	if d > time.Minute {
+		return time.Minute
+	}
+	return d.Round(time.Second)
+}

@@ -1,0 +1,150 @@
+// Package api defines the wire types of the mpressd planning service.
+// It is shared by the server (internal/serve) and the Go client
+// (internal/serve/client) so the two sides agree on one versioned
+// schema; the paths themselves are versioned (/v1/...) so the plan API
+// stays a first-class boundary as the service evolves.
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"mpress/internal/plan"
+	"mpress/internal/runner"
+)
+
+// Paths of the v1 API.
+const (
+	PathPlan    = "/v1/plan"
+	PathSweep   = "/v1/sweep"
+	PathJobs    = "/v1/jobs"
+	PathHealthz = "/healthz"
+	PathMetrics = "/metrics"
+)
+
+// PlanRequest submits one training job for planning and simulation.
+type PlanRequest struct {
+	// Config is the job to plan, exactly as the embedded library's
+	// runner.Config (the daemon validates and fills defaults).
+	Config runner.Config `json:"config"`
+	// Timeout bounds the job server-side (e.g. "30s"). Empty uses the
+	// daemon's default; the daemon clamps it to its maximum.
+	Timeout string `json:"timeout,omitempty"`
+}
+
+// PlanResponse is the outcome of one planned job.
+type PlanResponse struct {
+	// ID names the completed job for follow-up queries
+	// (GET /v1/jobs/<id>/trace).
+	ID string `json:"id"`
+	// Fingerprint is the job's canonical fingerprint (also the plan
+	// file's job label).
+	Fingerprint string `json:"fingerprint"`
+	// Report is the simulation outcome.
+	Report *runner.Report `json:"report"`
+	// Plan is the memory-compaction plan in the plan.Save file format,
+	// embedded verbatim — feed it to plan.Load (or write it to disk
+	// for mpress-plan -load). Absent for systems that do not plan.
+	Plan json.RawMessage `json:"plan,omitempty"`
+	// PlanCacheHit reports the daemon reused a cached plan.
+	PlanCacheHit bool `json:"plan_cache_hit"`
+	// ElapsedMS is the job's wall-clock on the daemon, with StageMS
+	// the per-stage breakdown.
+	ElapsedMS float64            `json:"elapsed_ms"`
+	StageMS   map[string]float64 `json:"stage_ms,omitempty"`
+}
+
+// DecodePlan parses the embedded plan file, returning the plan and
+// its job label (the job fingerprint).
+func (r *PlanResponse) DecodePlan() (*plan.Plan, string, error) {
+	if len(r.Plan) == 0 {
+		return nil, "", fmt.Errorf("api: response carries no plan")
+	}
+	return plan.Load(bytes.NewReader(r.Plan))
+}
+
+// CanonicalPlanFile re-renders the embedded plan in the exact
+// plan.Save byte format. JSON transport re-indents the embedded file
+// (whitespace is insignificant to parsers but not to byte-for-byte
+// artifact diffing), so persisting a remote plan goes through this.
+func (r *PlanResponse) CanonicalPlanFile() ([]byte, error) {
+	pl, label, err := r.DecodePlan()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := pl.Save(&buf, label); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SweepRequest submits a batch of jobs; results come back in input
+// order. The batch occupies one admission slot and runs through the
+// daemon's worker pool like a local sweep.
+type SweepRequest struct {
+	Configs []runner.Config `json:"configs"`
+	Timeout string          `json:"timeout,omitempty"`
+}
+
+// SweepResult is one job's outcome inside a sweep. Exactly one of
+// Error or Response is set.
+type SweepResult struct {
+	Error    string        `json:"error,omitempty"`
+	Response *PlanResponse `json:"response,omitempty"`
+}
+
+// SweepResponse carries the batch outcomes in input order.
+type SweepResponse struct {
+	Results []SweepResult `json:"results"`
+}
+
+// JobInfo summarizes a retained completed job.
+type JobInfo struct {
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint"`
+	System      string `json:"system"`
+	Model       string `json:"model"`
+	// HasTrace reports whether GET /v1/jobs/<id>/trace will serve a
+	// Chrome trace for this job.
+	HasTrace bool `json:"has_trace"`
+}
+
+// JobsResponse lists the retained completed jobs, most recent first.
+type JobsResponse struct {
+	Jobs []JobInfo `json:"jobs"`
+}
+
+// Error is the JSON error body every non-2xx response carries.
+type Error struct {
+	// Status is the HTTP status code, Message the human-readable
+	// cause.
+	Status  int    `json:"status"`
+	Message string `json:"message"`
+	// RetryAfter, on 429 responses, echoes the Retry-After header.
+	RetryAfter string `json:"retry_after,omitempty"`
+}
+
+// Error implements the error interface so clients can surface the
+// server's cause directly.
+func (e *Error) Error() string {
+	return fmt.Sprintf("mpressd: %d: %s", e.Status, e.Message)
+}
+
+// IsSaturated reports whether the error is an admission rejection —
+// the caller should back off RetryAfterDuration and resubmit.
+func (e *Error) IsSaturated() bool { return e.Status == 429 }
+
+// RetryAfterDuration parses the RetryAfter hint, defaulting to one
+// second.
+func (e *Error) RetryAfterDuration() time.Duration {
+	if d, err := time.ParseDuration(e.RetryAfter); err == nil && d > 0 {
+		return d
+	}
+	if secs, err := time.ParseDuration(e.RetryAfter + "s"); err == nil && secs > 0 {
+		return secs
+	}
+	return time.Second
+}

@@ -1,0 +1,168 @@
+// Package client is the Go client of the mpressd planning service. It
+// speaks the internal/serve/api wire schema, so a CLI or library user
+// can offload planning to a shared daemon (and its warm plan cache)
+// with the same types it would pass to runner.Train.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"mpress/internal/runner"
+	"mpress/internal/serve/api"
+)
+
+// Client talks to one mpressd instance.
+type Client struct {
+	// BaseURL locates the daemon, e.g. "http://127.0.0.1:7323".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient. Note the daemon
+	// bounds jobs server-side; set a Timeout here only above the
+	// longest job you expect, or rely on the request context.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Plan submits one job and returns its planned outcome. A saturated
+// daemon surfaces as an *api.Error with IsSaturated() true and a
+// Retry-After hint; timeout is the server-side bound ("" for the
+// daemon default).
+func (c *Client) Plan(ctx context.Context, cfg runner.Config, timeout string) (*api.PlanResponse, error) {
+	var resp api.PlanResponse
+	err := c.post(ctx, api.PathPlan, api.PlanRequest{Config: cfg, Timeout: timeout}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// PlanWait is Plan with bounded backoff: on saturation it honors the
+// daemon's Retry-After hint and resubmits until ctx expires.
+func (c *Client) PlanWait(ctx context.Context, cfg runner.Config, timeout string) (*api.PlanResponse, error) {
+	for {
+		resp, err := c.Plan(ctx, cfg, timeout)
+		var apiErr *api.Error
+		if err == nil || !errors.As(err, &apiErr) || !apiErr.IsSaturated() {
+			return resp, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("client: gave up waiting for admission: %w (last: %v)", ctx.Err(), err)
+		case <-time.After(apiErr.RetryAfterDuration()):
+		}
+	}
+}
+
+// Sweep submits a batch of jobs; results return in input order.
+func (c *Client) Sweep(ctx context.Context, cfgs []runner.Config, timeout string) (*api.SweepResponse, error) {
+	var resp api.SweepResponse
+	err := c.post(ctx, api.PathSweep, api.SweepRequest{Configs: cfgs, Timeout: timeout}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Jobs lists the daemon's retained completed jobs, most recent first.
+func (c *Client) Jobs(ctx context.Context) (*api.JobsResponse, error) {
+	var resp api.JobsResponse
+	if err := c.get(ctx, api.PathJobs, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Trace streams the Chrome trace JSON of a retained completed job
+// into w.
+func (c *Client) Trace(ctx context.Context, jobID string, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+api.PathJobs+"/"+jobID+"/trace", nil)
+	if err != nil {
+		return err
+	}
+	res, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return decodeError(res)
+	}
+	_, err = io.Copy(w, res.Body)
+	return err
+}
+
+// Healthy reports whether the daemon answers /healthz with 200.
+func (c *Client) Healthy(ctx context.Context) error {
+	var status map[string]string
+	return c.get(ctx, api.PathHealthz, &status)
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("client: encode request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	res, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return decodeError(res)
+	}
+	if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// decodeError turns a non-200 response into an *api.Error, falling
+// back to the raw body for non-JSON failures (proxies, panics).
+func decodeError(res *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(res.Body, 64<<10))
+	var apiErr api.Error
+	if err := json.Unmarshal(body, &apiErr); err == nil && apiErr.Message != "" {
+		apiErr.Status = res.StatusCode
+		if apiErr.RetryAfter == "" {
+			apiErr.RetryAfter = res.Header.Get("Retry-After")
+		}
+		return &apiErr
+	}
+	return &api.Error{Status: res.StatusCode, Message: strings.TrimSpace(string(body))}
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// metrics is a minimal Prometheus-text-format registry: counters keyed
+// by label values plus fixed-bucket latency histograms. The repo takes
+// no third-party dependencies, and the exposition format is a stable,
+// line-oriented contract — hand-rolling it keeps the daemon
+// scrape-compatible with any Prometheus without vendoring a client.
+type metrics struct {
+	mu sync.Mutex
+	// requests[endpoint][code] counts finished HTTP requests.
+	requests map[string]map[string]int64
+	// latency[endpoint] is the request-duration histogram.
+	latency map[string]*histogram
+	// rejected counts admission rejections (429s) by endpoint.
+	rejected map[string]int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]map[string]int64),
+		latency:  make(map[string]*histogram),
+		rejected: make(map[string]int64),
+	}
+}
+
+func (m *metrics) observe(endpoint, code string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode, ok := m.requests[endpoint]
+	if !ok {
+		byCode = make(map[string]int64)
+		m.requests[endpoint] = byCode
+	}
+	byCode[code]++
+	h, ok := m.latency[endpoint]
+	if !ok {
+		h = newHistogram()
+		m.latency[endpoint] = h
+	}
+	h.observe(d.Seconds())
+}
+
+func (m *metrics) reject(endpoint string) {
+	m.mu.Lock()
+	m.rejected[endpoint]++
+	m.mu.Unlock()
+}
+
+// histogram is a cumulative-bucket latency histogram with Prometheus
+// semantics (le upper bounds, +Inf implicit via count).
+type histogram struct {
+	counts []int64
+	count  int64
+	sum    float64
+}
+
+// latencyBuckets spans sub-millisecond cache hits to multi-minute
+// billion-parameter planning runs.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30, 120}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(latencyBuckets))}
+}
+
+func (h *histogram) observe(v float64) {
+	for i, le := range latencyBuckets {
+		if v <= le {
+			h.counts[i]++
+		}
+	}
+	h.count++
+	h.sum += v
+}
+
+// writeText renders the registry plus the gauges passed in by the
+// server (queue and runner/cache state sampled at scrape time) in the
+// Prometheus text exposition format, version 0.0.4.
+func (m *metrics) writeText(w io.Writer, gauges []gauge) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP mpressd_requests_total Finished HTTP requests by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE mpressd_requests_total counter")
+	for _, ep := range sortedKeys(m.requests) {
+		byCode := m.requests[ep]
+		codes := make([]string, 0, len(byCode))
+		for c := range byCode {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "mpressd_requests_total{endpoint=%q,code=%q} %d\n", ep, c, byCode[c])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP mpressd_rejected_total Requests rejected by admission control (429).")
+	fmt.Fprintln(w, "# TYPE mpressd_rejected_total counter")
+	for _, ep := range sortedKeys(m.rejected) {
+		fmt.Fprintf(w, "mpressd_rejected_total{endpoint=%q} %d\n", ep, m.rejected[ep])
+	}
+
+	fmt.Fprintln(w, "# HELP mpressd_request_seconds Request latency by endpoint.")
+	fmt.Fprintln(w, "# TYPE mpressd_request_seconds histogram")
+	for _, ep := range sortedKeys(m.latency) {
+		h := m.latency[ep]
+		for i, le := range latencyBuckets {
+			fmt.Fprintf(w, "mpressd_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, le, h.counts[i])
+		}
+		fmt.Fprintf(w, "mpressd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.count)
+		fmt.Fprintf(w, "mpressd_request_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(w, "mpressd_request_seconds_count{endpoint=%q} %d\n", ep, h.count)
+	}
+
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n",
+			g.name, g.help, g.name, g.kind, g.name, g.value)
+	}
+}
+
+// gauge is one scrape-time sampled metric line.
+type gauge struct {
+	name  string
+	kind  string // "gauge" or "counter"
+	help  string
+	value float64
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,420 @@
+// Package serve implements mpressd, the planning-as-a-service daemon:
+// an HTTP/JSON front door over the internal/runner layer. MPress
+// Static plans offline (paper Sec. III-B) — the planner's output is a
+// persistable artifact a long-running training job loads — so planning
+// is a natural service: clients submit a runner.Config (or a batch),
+// the daemon executes it through a shared Runner with a bounded
+// LRU plan cache, and returns the report plus the plan in the
+// plan.Save file format.
+//
+// The daemon is governed end to end: a bounded admission queue sheds
+// load with 429 + Retry-After when full, every request carries a
+// server-side deadline, SIGTERM drains in-flight jobs before exit, and
+// /metrics exposes request latencies, queue depth, cache and runner
+// counters in Prometheus text format.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"mpress/internal/runner"
+	"mpress/internal/serve/api"
+	"mpress/internal/trace"
+)
+
+// Options configures a Server. The zero value serves with sensible
+// defaults.
+type Options struct {
+	// Runner configures the embedded runner (worker pool size, plan
+	// cache bound). OnJobDone and KeepArtifacts are owned by the
+	// server and must be left unset.
+	Runner runner.Options
+	// QueueDepth bounds how many plan/sweep requests may be in service
+	// or queued at once; beyond it the daemon answers 429. Default 16.
+	QueueDepth int
+	// DefaultTimeout bounds a request that names no timeout; a
+	// request's own timeout is clamped to MaxTimeout. Defaults: 2m/10m.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// RetainJobs bounds how many completed jobs keep their execution
+	// timeline for GET /v1/jobs/<id>/trace. Default 64; 0 disables
+	// retention.
+	RetainJobs int
+	// DrainTimeout bounds graceful shutdown: how long Serve waits for
+	// in-flight requests after its context is cancelled. Default 30s.
+	DrainTimeout time.Duration
+	// MaxSweepConfigs bounds one sweep request's batch size. Default 4096.
+	MaxSweepConfigs int
+	// Logger receives structured request logs; default logs to stderr.
+	Logger *log.Logger
+}
+
+// Server is the mpressd HTTP service.
+type Server struct {
+	opts   Options
+	runner *runner.Runner
+	adm    *admission
+	met    *metrics
+	store  *jobStore
+	logger *log.Logger
+	mux    *http.ServeMux
+
+	reqSeq   atomic.Int64
+	jobSeq   atomic.Int64
+	draining atomic.Bool
+
+	// runJob executes one job; tests stub it to make service time
+	// controllable.
+	runJob func(ctx context.Context, j *runner.Job) runner.JobResult
+}
+
+// New builds a Server.
+func New(opts Options) *Server {
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 16
+	}
+	if opts.DefaultTimeout <= 0 {
+		opts.DefaultTimeout = 2 * time.Minute
+	}
+	if opts.MaxTimeout <= 0 {
+		opts.MaxTimeout = 10 * time.Minute
+	}
+	if opts.RetainJobs == 0 {
+		opts.RetainJobs = 64
+	}
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = 30 * time.Second
+	}
+	if opts.MaxSweepConfigs <= 0 {
+		opts.MaxSweepConfigs = 4096
+	}
+	if opts.Logger == nil {
+		opts.Logger = log.New(os.Stderr, "mpressd: ", log.LstdFlags|log.Lmicroseconds)
+	}
+	s := &Server{
+		opts:   opts,
+		runner: runner.New(opts.Runner),
+		adm:    newAdmission(opts.QueueDepth),
+		met:    newMetrics(),
+		store:  newJobStore(opts.RetainJobs),
+		logger: opts.Logger,
+	}
+	s.runJob = func(ctx context.Context, j *runner.Job) runner.JobResult {
+		return s.runner.RunKeep(ctx, j)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+api.PathPlan, s.instrument("plan", s.handlePlan))
+	mux.HandleFunc("POST "+api.PathSweep, s.instrument("sweep", s.handleSweep))
+	mux.HandleFunc("GET "+api.PathJobs, s.instrument("jobs", s.handleJobs))
+	mux.HandleFunc("GET "+api.PathJobs+"/{id}/trace", s.instrument("trace", s.handleTrace))
+	mux.HandleFunc("GET "+api.PathHealthz, s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET "+api.PathMetrics, s.instrument("metrics", s.handleMetrics))
+	s.mux = mux
+	return s
+}
+
+// Handler returns the daemon's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Runner exposes the embedded runner (its Stats feed /metrics).
+func (s *Server) Runner() *runner.Runner { return s.runner }
+
+// Serve runs the daemon on ln until ctx is cancelled, then drains:
+// listeners close, in-flight requests run to completion (bounded by
+// DrainTimeout), and only then does Serve return — SIGTERM never
+// abandons a half-planned job.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	s.logger.Printf("draining: waiting up to %v for in-flight requests", s.opts.DrainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(dctx)
+	<-errc // reap http.ErrServerClosed from the Serve goroutine
+	if err != nil {
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	s.logger.Printf("drained cleanly")
+	return nil
+}
+
+// statusWriter records the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request IDs, structured logging and
+// latency/count metrics.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r.WithContext(withRequestID(r.Context(), id)))
+		d := time.Since(start)
+		s.met.observe(endpoint, strconv.Itoa(sw.status), d)
+		s.logger.Printf("req=%s endpoint=%s method=%s path=%s status=%d dur=%s",
+			id, endpoint, r.Method, r.URL.Path, sw.status, d.Round(time.Microsecond))
+	}
+}
+
+type requestIDKey struct{}
+
+func withRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the request ID instrument attached to ctx ("" if
+// none) — job logs downstream of a handler can correlate with the
+// request log.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, &api.Error{Status: status, Message: fmt.Sprintf(format, args...)})
+}
+
+// rejectSaturated answers 429 with the drain-rate Retry-After hint.
+func (s *Server) rejectSaturated(w http.ResponseWriter, endpoint string) {
+	s.met.reject(endpoint)
+	retry := s.adm.retryAfter()
+	w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds())))
+	writeJSON(w, http.StatusTooManyRequests, &api.Error{
+		Status:     http.StatusTooManyRequests,
+		Message:    "planning queue is full",
+		RetryAfter: retry.String(),
+	})
+}
+
+// requestTimeout resolves a request's server-side deadline.
+func (s *Server) requestTimeout(spec string) (time.Duration, error) {
+	d := s.opts.DefaultTimeout
+	if spec != "" {
+		parsed, err := time.ParseDuration(spec)
+		if err != nil || parsed <= 0 {
+			return 0, fmt.Errorf("bad timeout %q", spec)
+		}
+		d = parsed
+	}
+	if d > s.opts.MaxTimeout {
+		d = s.opts.MaxTimeout
+	}
+	return d, nil
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req api.PlanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	timeout, err := s.requestTimeout(req.Timeout)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.adm.tryAcquire() {
+		s.rejectSaturated(w, "plan")
+		return
+	}
+	start := time.Now()
+	defer func() { s.adm.release(time.Since(start)) }()
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	resp, status, err := s.planOne(ctx, req.Config, true)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req api.SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if len(req.Configs) == 0 {
+		writeError(w, http.StatusBadRequest, "sweep has no configs")
+		return
+	}
+	if len(req.Configs) > s.opts.MaxSweepConfigs {
+		writeError(w, http.StatusBadRequest, "sweep of %d configs exceeds the %d limit",
+			len(req.Configs), s.opts.MaxSweepConfigs)
+		return
+	}
+	timeout, err := s.requestTimeout(req.Timeout)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.adm.tryAcquire() {
+		s.rejectSaturated(w, "sweep")
+		return
+	}
+	start := time.Now()
+	defer func() { s.adm.release(time.Since(start)) }()
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	resp := api.SweepResponse{Results: make([]api.SweepResult, len(req.Configs))}
+	results := s.runner.RunConfigs(ctx, req.Configs)
+	for i, res := range results {
+		if res.Err != nil {
+			resp.Results[i] = api.SweepResult{Error: res.Err.Error()}
+			continue
+		}
+		pr, err := s.response(res)
+		if err != nil {
+			resp.Results[i] = api.SweepResult{Error: err.Error()}
+			continue
+		}
+		resp.Results[i] = api.SweepResult{Response: pr}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// planOne validates and runs a single job, retaining its timeline for
+// the trace endpoint when retain is set.
+func (s *Server) planOne(ctx context.Context, cfg runner.Config, retain bool) (*api.PlanResponse, int, error) {
+	j, err := runner.NewJob(cfg)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	res := s.runJob(ctx, j)
+	if res.Err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(res.Err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		} else if errors.Is(res.Err, context.Canceled) {
+			status = http.StatusServiceUnavailable
+		}
+		return nil, status, res.Err
+	}
+	resp, err := s.response(res)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	if retain && res.State != nil && res.State.Built != nil && res.State.Exec != nil {
+		s.store.put(&jobRecord{
+			info: api.JobInfo{
+				ID:          resp.ID,
+				Fingerprint: resp.Fingerprint,
+				System:      res.Job.Config.System.String(),
+				Model:       res.Job.Config.Model.Name,
+				HasTrace:    true,
+			},
+			timeline: trace.Collect(res.State.Built, res.State.Exec),
+		})
+	}
+	return resp, http.StatusOK, nil
+}
+
+// response assembles the wire response for a completed job, embedding
+// the plan in the plan.Save file format (fingerprint-labelled).
+func (s *Server) response(res runner.JobResult) (*api.PlanResponse, error) {
+	resp := &api.PlanResponse{
+		ID:           fmt.Sprintf("job-%06d", s.jobSeq.Add(1)),
+		Fingerprint:  res.Job.Fingerprint(),
+		Report:       res.Report,
+		PlanCacheHit: res.PlanCacheHit,
+		ElapsedMS:    float64(res.Elapsed) / float64(time.Millisecond),
+	}
+	if len(res.StageTimes) > 0 {
+		resp.StageMS = make(map[string]float64, len(res.StageTimes))
+		for name, d := range res.StageTimes {
+			resp.StageMS[name] = float64(d) / float64(time.Millisecond)
+		}
+	}
+	if res.Report != nil && res.Report.Plan != nil {
+		var buf bytes.Buffer
+		if err := res.Job.SavePlan(&buf, res.Report.Plan); err != nil {
+			return nil, fmt.Errorf("serialize plan: %w", err)
+		}
+		resp.Plan = json.RawMessage(buf.Bytes())
+	}
+	return resp, nil
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.JobsResponse{Jobs: s.store.list()})
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.store.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "job %q is unknown or its trace has been evicted", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := rec.writeTrace(w); err != nil {
+		s.logger.Printf("trace %s: write: %v", id, err)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	held, capacity := s.adm.depth()
+	st := s.runner.Stats()
+	gauges := []gauge{
+		{"mpressd_queue_depth", "gauge", "Admitted requests currently in service or queued.", float64(held)},
+		{"mpressd_queue_capacity", "gauge", "Admission queue capacity.", float64(capacity)},
+		{"mpressd_jobs_total", "counter", "Jobs completed by the runner.", float64(st.Jobs)},
+		{"mpressd_plan_cache_hits_total", "counter", "Plan cache hits.", float64(st.PlanCacheHits)},
+		{"mpressd_plan_cache_misses_total", "counter", "Plan cache misses.", float64(st.PlanCacheMisses)},
+		{"mpressd_plan_cache_evictions_total", "counter", "Plans evicted by the LRU bound.", float64(st.PlanCacheEvictions)},
+		{"mpressd_plan_cache_entries", "gauge", "Plans currently cached.", float64(st.PlanCacheEntries)},
+		{"mpressd_plan_cache_bytes", "gauge", "Approximate bytes of cached plans.", float64(st.PlanCacheBytes)},
+		{"mpressd_plan_computes_total", "counter", "Planner searches actually run.", float64(st.PlanComputes)},
+		{"mpressd_runner_plan_seconds_total", "counter", "Cumulative wall-clock in the planning stage.", st.PlanTime.Seconds()},
+		{"mpressd_runner_exec_seconds_total", "counter", "Cumulative wall-clock in the execution stage.", st.ExecTime.Seconds()},
+		{"mpressd_retained_jobs", "gauge", "Completed jobs retained for the trace endpoint.", float64(len(s.store.list()))},
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.writeText(w, gauges)
+}

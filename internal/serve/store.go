@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"container/list"
+	"io"
+	"sync"
+
+	"mpress/internal/serve/api"
+	"mpress/internal/trace"
+)
+
+// jobRecord is one retained completed job: enough to serve follow-up
+// queries (its Chrome trace) without keeping the full pipeline State
+// alive. The timeline is extracted eagerly so the lowered graph and
+// raw exec result can be collected as soon as the job finishes.
+type jobRecord struct {
+	info     api.JobInfo
+	timeline *trace.Timeline
+}
+
+// jobStore retains the last N completed jobs for the trace endpoint,
+// evicting oldest-first — the same bounded-retention discipline as the
+// plan cache, so a long-lived daemon's memory stays flat no matter how
+// many jobs it serves.
+type jobStore struct {
+	mu    sync.Mutex
+	cap   int
+	byID  map[string]*list.Element // value: *jobRecord
+	order *list.List               // front = most recent
+}
+
+func newJobStore(capacity int) *jobStore {
+	return &jobStore{
+		cap:   capacity,
+		byID:  make(map[string]*list.Element),
+		order: list.New(),
+	}
+}
+
+func (s *jobStore) put(rec *jobRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cap <= 0 {
+		return
+	}
+	s.byID[rec.info.ID] = s.order.PushFront(rec)
+	for s.order.Len() > s.cap {
+		back := s.order.Back()
+		s.order.Remove(back)
+		delete(s.byID, back.Value.(*jobRecord).info.ID)
+	}
+}
+
+func (s *jobStore) get(id string) (*jobRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return e.Value.(*jobRecord), true
+}
+
+// list returns the retained jobs, most recent first.
+func (s *jobStore) list() []api.JobInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]api.JobInfo, 0, s.order.Len())
+	for e := s.order.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*jobRecord).info)
+	}
+	return out
+}
+
+// writeTrace renders the record's Chrome trace JSON.
+func (r *jobRecord) writeTrace(w io.Writer) error {
+	return r.timeline.WriteChrome(w)
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace file from the current output")
+
+const goldenPath = "testdata/tiny.trace.json"
+
+// TestChromeTraceGolden pins the Chrome trace-event JSON byte-for-byte
+// over a small deterministic run — the trace file is an external
+// artifact (chrome://tracing, Perfetto), so format drift must be a
+// deliberate, reviewed change (`go test ./internal/trace -update`).
+func TestChromeTraceGolden(t *testing.T) {
+	b, res := runTiny(t)
+	tl := Collect(b, res)
+	var buf bytes.Buffer
+	if err := tl.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten: %s (%d bytes)", goldenPath, buf.Len())
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (generate with: go test ./internal/trace -run Golden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace output drifted from golden file (%d bytes vs %d); "+
+			"if intentional, regenerate with -update", buf.Len(), len(want))
+	}
+}
+
+// TestChromeTracePerfettoCompatible validates the golden file against
+// the trace-event contract Perfetto's importer relies on: every event
+// is a complete ("X") span with non-negative ts/dur, pid is the stage
+// lane, tid a per-stage track, and events are time-ordered within each
+// (pid, tid) track.
+func TestChromeTracePerfettoCompatible(t *testing.T) {
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (generate with: go test ./internal/trace -run Golden -update)", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			Ts   *float64          `json:"ts"`
+			Dur  *float64          `json:"dur"`
+			Pid  *int              `json:"pid"`
+			Tid  *int              `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("golden trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("golden trace has no events")
+	}
+	type track struct{ pid, tid int }
+	lastTs := map[track]float64{}
+	for i, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Fatalf("event %d: phase %q, want complete spans", i, e.Ph)
+		}
+		if e.Name == "" || e.Cat == "" {
+			t.Fatalf("event %d: missing name/cat", i)
+		}
+		if e.Ts == nil || e.Dur == nil || e.Pid == nil || e.Tid == nil {
+			t.Fatalf("event %d (%s): missing ts/dur/pid/tid", i, e.Name)
+		}
+		if *e.Ts < 0 || *e.Dur < 0 {
+			t.Fatalf("event %d (%s): negative ts/dur %g/%g", i, e.Name, *e.Ts, *e.Dur)
+		}
+		if *e.Pid < 0 || *e.Pid >= 4 {
+			t.Fatalf("event %d (%s): pid %d outside the 4-stage run", i, e.Name, *e.Pid)
+		}
+		if e.Args["microbatch"] == "" {
+			t.Fatalf("event %d (%s): missing microbatch arg", i, e.Name)
+		}
+		// Perfetto renders each (pid, tid) as one track; our writer
+		// emits tracks in nondecreasing ts order so spans nest cleanly.
+		k := track{*e.Pid, *e.Tid}
+		if prev, ok := lastTs[k]; ok && *e.Ts < prev {
+			t.Fatalf("event %d (%s): ts %g goes backwards on track %+v (prev %g)",
+				i, e.Name, *e.Ts, k, prev)
+		}
+		lastTs[k] = *e.Ts
+	}
+}
