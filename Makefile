@@ -1,8 +1,14 @@
 GO ?= go
 
-.PHONY: check build test race fmt vet
+.PHONY: check build test race fmt vet smoke
 
 check: fmt vet build race
+
+# Run every example binary end to end; each must exit 0.
+smoke:
+	@set -e; for d in examples/*/; do \
+		echo "== go run ./$$d"; $(GO) run ./$$d; \
+	done
 
 build:
 	$(GO) build ./...

@@ -12,6 +12,7 @@
 //
 //	mpress-sweep -family bert -topo dgx1 -systems plain,swap,recompute,d2d,mpress
 //	mpress-sweep -family gpt -topo dgx2 -mb 2,4 -jobs 4 > gpt_dgx2.csv
+//	mpress-sweep -family gpt -sizes 5.3B -systems mpress -nodes 1,2,4,8 -fabric slow
 package main
 
 import (
@@ -65,6 +66,8 @@ func main() {
 	mbFlag := flag.String("mb", "", "comma-separated microbatch sizes (default per family)")
 	miniFlag := flag.String("minibatches", "", "comma-separated minibatch counts (default 2)")
 	sizesFlag := flag.String("sizes", "", "comma-separated variant sizes (default: all)")
+	nodesFlag := flag.String("nodes", "1", "comma-separated node counts; > 1 runs hybrid data+pipeline parallelism")
+	fabricFlag := flag.String("fabric", "fast", "inter-node fabric for multi-node points: fast (ib-4x100), eth-25g, slow (eth-10g)")
 	jobs := flag.Int("jobs", 0, "concurrent training jobs (default GOMAXPROCS)")
 	cacheEntries := flag.Int("cache-entries", 0, "plan cache entry cap (0 default, negative unbounded)")
 	timeout := flag.Duration("timeout", 0, "abort the whole sweep after this long (default none)")
@@ -105,6 +108,11 @@ func main() {
 	if *mbFlag != "" {
 		mbs = parseInts("microbatch", *mbFlag)
 	}
+	nodeCounts := parseInts("nodes", *nodesFlag)
+	fab, err := mpress.LookupFabric(*fabricFlag)
+	if err != nil {
+		fail("%v", err)
+	}
 	minis := []int{0} // 0 means the Config default (2)
 	if *miniFlag != "" {
 		minis = parseInts("minibatches", *miniFlag)
@@ -130,23 +138,33 @@ func main() {
 		sysIdx int
 		mb     int
 		mini   int
+		nodes  int
 	}
 	var cfgs []mpress.Config
 	var points []point
 	for _, size := range sizes {
 		m := variant(size)
-		for _, mini := range minis {
-			for _, mb := range mbs {
-				for i, sys := range systems {
-					cfgs = append(cfgs, mpress.Config{
-						Topology:       topo,
-						Model:          m,
-						Schedule:       schedule,
-						System:         sys,
-						MicrobatchSize: mb,
-						Minibatches:    mini,
-					})
-					points = append(points, point{size, m.Billions(), i, mb, mini})
+		for _, nodes := range nodeCounts {
+			var clus *mpress.Cluster
+			if nodes > 1 {
+				if clus, err = mpress.NewCluster(nodes, topo, fab); err != nil {
+					fail("%v", err)
+				}
+			}
+			for _, mini := range minis {
+				for _, mb := range mbs {
+					for i, sys := range systems {
+						cfgs = append(cfgs, mpress.Config{
+							Topology:       topo,
+							Model:          m,
+							Schedule:       schedule,
+							System:         sys,
+							MicrobatchSize: mb,
+							Minibatches:    mini,
+							Cluster:        clus,
+						})
+						points = append(points, point{size, m.Billions(), i, mb, mini, nodes})
+					}
 				}
 			}
 		}
@@ -184,7 +202,9 @@ func main() {
 	defer w.Flush()
 	if err := w.Write([]string{
 		"family", "size", "params_b", "topology", "system", "microbatch", "minibatches",
+		"nodes", "fabric",
 		"status", "tflops", "samples_per_sec", "max_gpu_peak_gib", "host_peak_gib",
+		"cluster_tflops", "nic_egress_gib",
 	}); err != nil {
 		fail("%v", err)
 	}
@@ -195,17 +215,22 @@ func main() {
 		if mini == 0 {
 			mini = 2 // the default WithDefaults fills in
 		}
+		fabName := "-"
+		if p.nodes > 1 {
+			fabName = fab.Name
+		}
 		row := []string{
 			*family, p.size, fmt.Sprintf("%.2f", p.params),
 			topo.Name, systemNames[p.sysIdx], strconv.Itoa(p.mb), strconv.Itoa(mini),
+			strconv.Itoa(p.nodes), fabName,
 		}
 		rep := jr.Report
 		switch {
 		case jr.Err != nil:
 			failed++
-			row = append(row, "error", "", "", "", "")
+			row = append(row, "error", "", "", "", "", "", "")
 		case rep.Failed():
-			row = append(row, "oom", "", "", "", "")
+			row = append(row, "oom", "", "", "", "", "", "")
 		default:
 			var peak mpress.Bytes
 			for _, pk := range rep.PerGPUPeak {
@@ -219,6 +244,8 @@ func main() {
 				fmt.Sprintf("%.2f", rep.SamplesPerSec),
 				fmt.Sprintf("%.2f", peak.GiBf()),
 				fmt.Sprintf("%.2f", rep.HostPeak.GiBf()),
+				fmt.Sprintf("%.2f", rep.ClusterTFLOPS),
+				fmt.Sprintf("%.2f", rep.NICBytes.GiBf()),
 			)
 		}
 		if err := w.Write(row); err != nil {

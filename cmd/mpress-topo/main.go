@@ -1,12 +1,16 @@
 // Command mpress-topo prints a server topology's NVLink lane matrix
 // (like `nvidia-smi topo -m`) and the Fig. 4 link-bandwidth
-// microbenchmark measured on the simulated fabric.
+// microbenchmark measured on the simulated fabric. With -nodes > 1 it
+// composes the server into a cluster (internal/cluster) and adds the
+// inter-node fabric and its all-reduce probe.
 //
 // Usage:
 //
 //	mpress-topo -topo dgx1
 //	mpress-topo -topo dgx2 -size 256MiB
-//	mpress-topo -topo dgx1 -json    # the topology as mpressd wire JSON
+//	mpress-topo -topo dgx1 -json               # the topology as mpressd wire JSON
+//	mpress-topo -topo dgx1 -nodes 4 -fabric fast
+//	mpress-topo -topo dgx1 -nodes 4 -json      # the cluster as JSON
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"mpress/internal/cluster"
 	"mpress/internal/fabric"
 	"mpress/internal/hw"
 	"mpress/internal/units"
@@ -24,7 +29,9 @@ import (
 func main() {
 	topoName := flag.String("topo", "dgx1", "topology: dgx1, dgx1-nvme, dgx2, grace")
 	sizeStr := flag.String("size", "256MiB", "transfer size for the bandwidth probe")
-	asJSON := flag.Bool("json", false, "emit the topology as JSON (paste into an mpressd request) and exit")
+	nodes := flag.Int("nodes", 1, "node count; > 1 composes a multi-node cluster")
+	fabricName := flag.String("fabric", "fast", "inter-node fabric: fast (ib-4x100), eth-25g, slow (eth-10g)")
+	asJSON := flag.Bool("json", false, "emit the topology (or cluster, with -nodes > 1) as JSON and exit")
 	flag.Parse()
 
 	var topo *hw.Topology
@@ -41,10 +48,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mpress-topo: unknown topology %q\n", *topoName)
 		os.Exit(2)
 	}
+	var clus *cluster.Cluster
+	if *nodes > 1 {
+		fab, err := cluster.LookupFabric(*fabricName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpress-topo: %v\n", err)
+			os.Exit(2)
+		}
+		if clus, err = cluster.New(*nodes, topo, fab); err != nil {
+			fmt.Fprintf(os.Stderr, "mpress-topo: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(topo); err != nil {
+		var v interface{} = topo
+		if clus != nil {
+			v = clus
+		}
+		if err := enc.Encode(v); err != nil {
 			fmt.Fprintf(os.Stderr, "mpress-topo: %v\n", err)
 			os.Exit(1)
 		}
@@ -56,6 +79,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	if clus != nil {
+		fmt.Printf("%s: %d nodes, %d GPUs, %v total GPU memory\n",
+			clus.Name, clus.Nodes, clus.TotalGPUs(), clus.TotalGPUMemory())
+		fmt.Printf("inter-node %s (%s/node aggregate)\n\n", clus.Net.String(), clus.Net.NodeBW().BitString())
+		for n := 0; n < clus.Nodes; n++ {
+			devs := make([]string, topo.NumGPUs)
+			for g := range devs {
+				devs[g] = hw.DeviceID(g).On(n).String()
+			}
+			fmt.Printf("node %d: %s .. %s\n", n, devs[0], devs[len(devs)-1])
+		}
+		fmt.Println()
+	}
 	fmt.Printf("%s: %d x %s (%v each), host %v\n", topo.Name, topo.NumGPUs,
 		topo.GPU.Name, topo.GPU.Memory, topo.HostMemory)
 	fmt.Printf("NVLink: %v/lane, %d lanes per GPU; PCIe %v", topo.NVLinkLaneBW,
@@ -83,5 +119,12 @@ func main() {
 			{Peer: 3, Bytes: size / 3}, {Peer: 4, Bytes: size - size/6*2 - size/3},
 		}
 		fmt.Printf("  6-lane weighted scatter: %v\n", fabric.EffectiveScatterBandwidth(topo, 0, parts))
+	}
+	if clus != nil {
+		fmt.Printf("\nring all-reduce of %v across %d nodes (4 buckets):\n", size, clus.Nodes)
+		fmt.Printf("  ideal (latency-free): %v\n", clus.IdealAllReduceTime(size))
+		fmt.Printf("  simulated: %v (algbw %v)\n",
+			cluster.MeasureAllReduce(clus, size, 4),
+			cluster.EffectiveAllReduceBandwidth(clus, size, 4))
 	}
 }

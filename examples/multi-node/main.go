@@ -1,0 +1,56 @@
+// Multi-node: scale an MPress job out with hybrid data+pipeline
+// parallelism.
+//
+// Each node of the cluster runs one MPress-planned pipeline replica of
+// the model; replicas synchronize gradients with bucketed ring
+// all-reduces over the inter-node fabric, overlapped with backward
+// compute. The example trains the same job on one server, then on a
+// 4-node cluster over fast (4x100G InfiniBand) and slow (10G Ethernet)
+// fabrics, and reports the scaling efficiency each fabric sustains.
+//
+//	go run ./examples/multi-node
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpress"
+)
+
+func main() {
+	base := mpress.Config{
+		Model:          mpress.MustGPT("5.3B"),
+		Schedule:       mpress.DAPPLE,
+		System:         mpress.SystemMPress,
+		MicrobatchSize: 2,
+	}
+
+	run := func(cfg mpress.Config) *mpress.Report {
+		rep, err := mpress.Train(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.Failed() {
+			log.Fatalf("out of memory: %v", rep.OOM)
+		}
+		return rep
+	}
+
+	single := base
+	single.Topology = mpress.DGX1()
+	sr := run(single)
+	fmt.Printf("%s on one %s: %.1f TFLOPS, %v/iteration\n",
+		sr.Config.Model.Name, sr.Config.Topology.Name, sr.TFLOPS, sr.Duration)
+
+	for _, fab := range []mpress.Fabric{mpress.InfiniBand4x100(), mpress.Ethernet10G()} {
+		cfg := base
+		cfg.Cluster = mpress.MustCluster(4, mpress.DGX1(), fab)
+		rep := run(cfg)
+		eff := rep.ClusterTFLOPS / (float64(rep.Replicas) * sr.TFLOPS)
+		fmt.Printf("%d nodes over %s: %.1f TFLOPS total, %v/iteration, "+
+			"%.1f%% scaling efficiency, %v all-reduced per node\n",
+			rep.Replicas, fab.Name, rep.ClusterTFLOPS, rep.Duration,
+			100*eff, rep.NICBytes)
+	}
+}

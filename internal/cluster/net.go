@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"fmt"
+
+	"mpress/internal/sim"
+	"mpress/internal/units"
+)
+
+// Net is the simulated inter-node fabric of one cluster, attached to a
+// run's discrete-event clock. It models node 0's NIC ports as lane
+// resources (per-port serialization, striping across ports, setup
+// latency) and schedules bucketed ring all-reduces on them.
+//
+// Symmetry argument: every node hosts an identical pipeline replica
+// driven by the same deterministic schedule, so at every simulated
+// instant all nodes inject identical traffic into the ring — node i's
+// egress load equals node 0's, and the chunk node 0 receives from node
+// N-1 completes exactly when node 0's own send does. Modeling one
+// node's ports therefore reproduces the whole ring's timing, the same
+// one-rank-by-symmetry device the ZeRO baselines use (internal/zero).
+type Net struct {
+	sim *sim.Sim
+	c   *Cluster
+
+	// egress is node 0's NIC send side; ingress mirrors the receive
+	// side's occupancy (bytes are counted once, on egress, as
+	// internal/fabric does for switched NVLink).
+	egress  *sim.LaneSet
+	ingress *sim.LaneSet
+
+	allReduces int64
+}
+
+// NewNet builds the fabric resources for c on simulation s. For
+// single-node clusters the NIC lanes are not instantiated — there is
+// no ring to run.
+func NewNet(s *sim.Sim, c *Cluster) *Net {
+	n := &Net{sim: s, c: c}
+	if c.Nodes > 1 {
+		n.egress = sim.NewLaneSet(s, "nic-egress", c.Net.NICs)
+		n.ingress = sim.NewLaneSet(s, "nic-ingress", c.Net.NICs)
+	}
+	return n
+}
+
+// Cluster returns the topology the net simulates.
+func (n *Net) Cluster() *Cluster { return n.c }
+
+// NetStats aggregates inter-node traffic, per node (all nodes are
+// symmetric: multiply by Cluster.Nodes for fleet totals).
+type NetStats struct {
+	// AllReduces counts completed collective operations.
+	AllReduces int64
+	// EgressBytes is one node's total NIC egress traffic.
+	EgressBytes units.Bytes
+	// Busy is one node's summed NIC-port-occupied send time.
+	Busy units.Duration
+}
+
+// Stats snapshots the net's cumulative counters.
+func (n *Net) Stats() NetStats {
+	st := NetStats{AllReduces: n.allReduces}
+	if n.egress != nil {
+		st.EgressBytes = n.egress.Moved()
+		st.Busy = n.egress.BusyTime()
+	}
+	return st
+}
+
+// AllReduce returns the gradient synchronizer for this net: a function
+// invoked at the simulated time a bucket of gradients becomes final,
+// which schedules a bucketed ring all-reduce of size bytes across the
+// cluster's nodes and invokes done at its simulated completion time.
+//
+// The ring follows the classic 2(N-1)-step schedule — N-1 reduce-
+// scatter steps then N-1 all-gather steps, each moving size/(B*N)
+// bytes per node per bucket — with every chunk striped across the
+// node's NICs. Buckets pipeline: bucket b+1's step k queues on the NIC
+// lanes behind bucket b's, so an uncontended all-reduce approaches the
+// closed-form 2(N-1)/N * size / nodeBW wire time (plus the per-step
+// latency). Concurrent all-reduces (different pipeline stages
+// finishing their backward passes at different times) contend on the
+// same lanes, which is exactly how overlap with backward compute is —
+// or is not — achieved.
+//
+// The signature matches exec.GradSyncFn so a Net plugs directly into
+// the executor's Options.GradSync hook.
+func (n *Net) AllReduce(buckets int) func(stage, minibatch int, size units.Bytes, done func()) {
+	if buckets <= 0 {
+		buckets = 1
+	}
+	return func(stage, minibatch int, size units.Bytes, done func()) {
+		n.allReduces++
+		if n.c.Nodes <= 1 || size <= 0 {
+			done()
+			return
+		}
+		b := buckets
+		if units.Bytes(b) > size {
+			b = int(size)
+		}
+		per := size / units.Bytes(b)
+		rem := size - per*units.Bytes(b)
+		pending := b
+		bucketDone := func() {
+			pending--
+			if pending == 0 {
+				done()
+			}
+		}
+		for i := 0; i < b; i++ {
+			bucket := per
+			if i == 0 {
+				bucket += rem
+			}
+			n.ringBucket(bucket, bucketDone)
+		}
+	}
+}
+
+// ringBucket schedules one bucket's 2(N-1) ring steps. Each step's
+// chunk transfer must wait for both a free NIC lane and the previous
+// step's chunk to arrive from the ring predecessor (which, by
+// symmetry, lands when this node's own previous send completes).
+func (n *Net) ringBucket(bucket units.Bytes, done func()) {
+	steps := 2 * (n.c.Nodes - 1)
+	chunk := (bucket + units.Bytes(n.c.Nodes) - 1) / units.Bytes(n.c.Nodes)
+	var step func(k int)
+	step = func(k int) {
+		if k == steps {
+			done()
+			return
+		}
+		end := n.sendChunk(chunk)
+		n.sim.At(end, func() { step(k + 1) })
+	}
+	step(0)
+}
+
+// sendChunk reserves the node's NIC lanes for one ring chunk, striping
+// it across all ports, and mirrors the occupancy on the ingress side
+// (the simultaneous receive from the ring predecessor). It returns the
+// completion time of the slowest stripe.
+func (n *Net) sendChunk(chunk units.Bytes) sim.Time {
+	k := n.egress.Lanes()
+	per := chunk / units.Bytes(k)
+	rem := chunk - per*units.Bytes(k)
+	var end sim.Time
+	for i := 0; i < k; i++ {
+		blk := per
+		if i == 0 {
+			blk += rem
+		}
+		_, e := n.egress.Reserve(blk, n.c.Net.PerNICBW, n.c.Net.Latency)
+		// The mirrored receive never outruns the send side: both lane
+		// sets see the identical reservation sequence, so the earliest
+		// ingress lane frees no later than e.
+		n.ingress.ReserveUntil(e, 0)
+		if e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// MeasureAllReduce runs one isolated bucketed ring all-reduce of size
+// bytes on a fresh clock and returns its simulated duration — the
+// cluster-level counterpart of fabric.EffectiveBandwidth, used by
+// cmd/mpress-topo's probe and the closed-form tests.
+func MeasureAllReduce(c *Cluster, size units.Bytes, buckets int) units.Duration {
+	s := sim.New()
+	n := NewNet(s, c)
+	var end units.Duration
+	fired := false
+	n.AllReduce(buckets)(0, 0, size, func() {
+		end = s.Now()
+		fired = true
+	})
+	s.Run()
+	if !fired {
+		panic(fmt.Sprintf("cluster: all-reduce of %v never completed", size))
+	}
+	return end
+}
+
+// EffectiveAllReduceBandwidth reports the isolated all-reduce's
+// algorithm bandwidth, size/time (the figure NCCL benchmarks call
+// "algbw"). Infinite for single-node clusters; callers gate on
+// Nodes > 1.
+func EffectiveAllReduceBandwidth(c *Cluster, size units.Bytes, buckets int) units.Bandwidth {
+	d := MeasureAllReduce(c, size, buckets)
+	if d <= 0 {
+		return 0
+	}
+	return units.Bandwidth(float64(size) / d.Secondsf())
+}

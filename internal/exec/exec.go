@@ -59,7 +59,23 @@ type Options struct {
 	// InterruptEvery overrides the cancellation polling stride; zero
 	// keeps the simulator's default.
 	InterruptEvery int64
+	// GradSync, when non-nil, joins this run to its data-parallel
+	// replicas (internal/cluster): called once at setup with the run's
+	// clock, it returns the synchronizer invoked whenever a stage's
+	// gradients for one minibatch become final (the stage's last
+	// backward of that minibatch completes). The stage's
+	// optimizer-step operators for that minibatch are held until the
+	// synchronizer signals completion, so gradient all-reduce overlaps
+	// the remaining backward compute and delays only the dependent
+	// optimizer step.
+	GradSync func(s *sim.Sim) GradSyncFn
 }
+
+// GradSyncFn models one data-parallel gradient synchronization: it is
+// invoked at the simulated time stage's accumulated gradients for
+// minibatch become final, and must invoke done exactly once at the
+// synchronization's simulated completion time (possibly immediately).
+type GradSyncFn func(stage, minibatch int, bytes units.Bytes, done func())
 
 // MemSample is one point of the memory-over-time curve.
 type MemSample struct {
@@ -141,6 +157,16 @@ type engine struct {
 	oomResidents map[string]units.Bytes
 	samples      []MemSample
 	rate         units.FLOPSRate
+
+	// Gradient-synchronization state (only when Options.GradSync set):
+	// bwOf maps each backward op to its slot, bwLeft[s][q] counts stage
+	// s's outstanding backward ops for minibatch q, and gradBytes[s] is
+	// the stage's persistent gradient footprint (the all-reduce
+	// payload).
+	sync      GradSyncFn
+	bwOf      map[graph.OpID]pipeline.SlotKey
+	bwLeft    [][]int
+	gradBytes []units.Bytes
 }
 
 // Run simulates the job and returns its result. Configuration errors
@@ -191,6 +217,9 @@ func Run(o Options) (*Result, error) {
 	if ctx := o.Ctx; ctx != nil {
 		e.sim.Interrupt = func() bool { return ctx.Err() != nil }
 		e.sim.InterruptEvery = o.InterruptEvery
+	}
+	if o.GradSync != nil {
+		e.sync = o.GradSync(e.sim)
 	}
 
 	if err := e.init(); err != nil {
@@ -270,6 +299,34 @@ func (e *engine) init() error {
 			}
 			return ss[a] < ss[b]
 		})
+	}
+	if e.sync != nil {
+		// Gate every optimizer-step op behind its minibatch's gradient
+		// synchronization: one extra pseudo-dependency, released by
+		// syncDone when the all-reduce completes.
+		e.bwOf = make(map[graph.OpID]pipeline.SlotKey, len(b.BwOps))
+		S := b.NumStages()
+		e.bwLeft = make([][]int, S)
+		e.gradBytes = make([]units.Bytes, S)
+		for s := 0; s < S; s++ {
+			e.bwLeft[s] = make([]int, b.Cfg.Minibatches)
+			for _, id := range b.Persistent[s] {
+				if tn := e.g.Tensors.Get(id); tn.Class == tensor.Gradient {
+					e.gradBytes[s] += tn.Size
+				}
+			}
+		}
+		for key, id := range b.BwOps {
+			e.bwOf[id] = key
+			e.bwLeft[key.Stage][key.Microbatch/b.Cfg.Microbatches]++
+		}
+		for _, perMini := range b.OptOps {
+			for _, ops := range perMini {
+				for _, id := range ops {
+					e.preds[id]++
+				}
+			}
+		}
 	}
 	// Freeing points: after a tensor's last-consuming op, or after its
 	// producer if nothing consumes it. Persistent tensors never free.
@@ -535,6 +592,27 @@ func (e *engine) complete(id graph.OpID, start, end sim.Time) {
 		e.preds[s]--
 		if e.preds[s] == 0 {
 			e.dispatch(s)
+		}
+	}
+	if e.sync != nil {
+		if key, ok := e.bwOf[id]; ok {
+			q := key.Microbatch / e.o.Built.Cfg.Microbatches
+			e.bwLeft[key.Stage][q]--
+			if e.bwLeft[key.Stage][q] == 0 {
+				s := key.Stage
+				e.sync(s, q, e.gradBytes[s], func() { e.syncDone(s, q) })
+			}
+		}
+	}
+}
+
+// syncDone releases one (stage, minibatch)'s optimizer-step ops once
+// their gradients have been synchronized across replicas.
+func (e *engine) syncDone(stage, minibatch int) {
+	for _, id := range e.o.Built.OptOps[stage][minibatch] {
+		e.preds[id]--
+		if e.preds[id] == 0 {
+			e.dispatch(id)
 		}
 	}
 }

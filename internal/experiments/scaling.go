@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mpress"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "scaling",
+		Title: "Scaling out: multi-node hybrid data+pipeline parallelism (MPress replicas + ring all-reduce)",
+		Run:   Scaling,
+	})
+}
+
+// Scaling measures weak-scaling efficiency of hybrid parallelism:
+// each node runs one MPress pipeline replica and replicas synchronize
+// gradients over the inter-node fabric. Efficiency is cluster
+// throughput over N x the single-server throughput, so it isolates
+// exactly what the fabric costs — near 1 on 4x100G InfiniBand, and
+// degrading on 10G Ethernet where the all-reduce stops hiding under
+// backward compute.
+func Scaling(w io.Writer) error {
+	type workload struct {
+		label string
+		cfg   mpress.Config
+	}
+	workloads := []workload{
+		{"Bert-1.67B/PipeDream", mpress.Config{
+			Model:          mpress.MustBert("1.67B"),
+			Schedule:       mpress.PipeDream,
+			System:         mpress.SystemMPress,
+			MicrobatchSize: 12,
+		}},
+		{"GPT-5.3B/DAPPLE", mpress.Config{
+			Model:          mpress.MustGPT("5.3B"),
+			Schedule:       mpress.DAPPLE,
+			System:         mpress.SystemMPress,
+			MicrobatchSize: 2,
+		}},
+	}
+	fabrics := []mpress.Fabric{mpress.InfiniBand4x100(), mpress.Ethernet10G()}
+	nodeCounts := []int{1, 2, 4, 8}
+
+	type row struct {
+		model, fabric string
+		nodes         int
+	}
+	var rows []row
+	var cfgs []mpress.Config
+	for _, wl := range workloads {
+		for _, fab := range fabrics {
+			for _, n := range nodeCounts {
+				if n == 1 && fab.Name != fabrics[0].Name {
+					continue // one node never touches the fabric; run it once
+				}
+				cfg := wl.cfg
+				cfg.Cluster = mpress.MustCluster(n, mpress.DGX1(), fab)
+				fabName := fab.Name
+				if n == 1 {
+					fabName = "-"
+				}
+				rows = append(rows, row{wl.label, fabName, n})
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	results := trainAll(cfgs)
+
+	t := newTable("Model", "Fabric", "Nodes", "GPUs", "Cluster TFLOPS", "Efficiency", "Iter time", "NIC egress/node")
+	base := map[string]float64{} // single-server TFLOPS per model
+	for i, r := range rows {
+		if r.nodes == 1 {
+			if rep := results[i].Report; results[i].Err == nil && !rep.Failed() {
+				base[r.model] = rep.TFLOPS
+			}
+		}
+	}
+	for i, r := range rows {
+		res := results[i]
+		if res.Err != nil {
+			t.add(r.model, r.fabric, fmt.Sprint(r.nodes), "-", "ERR", "-", "-", "-")
+			continue
+		}
+		rep := res.Report
+		gpus := fmt.Sprint(r.nodes * 8)
+		if rep.Failed() {
+			t.add(r.model, r.fabric, fmt.Sprint(r.nodes), gpus, "OOM", "-", "-", "-")
+			continue
+		}
+		eff := "-"
+		if b := base[r.model]; b > 0 {
+			eff = fmt.Sprintf("%.1f%%", 100*rep.ClusterTFLOPS/(float64(r.nodes)*b))
+		}
+		t.add(r.model, r.fabric, fmt.Sprint(r.nodes), gpus,
+			fmt.Sprintf("%.1f", rep.ClusterTFLOPS), eff,
+			fmt.Sprint(rep.Duration), fmt.Sprint(rep.NICBytes))
+	}
+	t.write(w)
+	return nil
+}

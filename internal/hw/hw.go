@@ -127,6 +127,10 @@ const (
 	NVMeLink
 	// C2CLink is Grace-Hopper's NVLink-C2C CPU<->GPU path (Sec. V).
 	C2CLink
+	// NICLink is an inter-node network port (InfiniBand / Ethernet),
+	// the fabric internal/cluster composes servers over. NICs are
+	// quoted in bits per second (units.Gbps).
+	NICLink
 )
 
 // String returns the kind name.
@@ -140,7 +144,39 @@ func (k LinkKind) String() string {
 		return "nvme"
 	case C2CLink:
 		return "c2c"
+	case NICLink:
+		return "nic"
 	default:
 		return fmt.Sprintf("LinkKind(%d)", int(k))
 	}
+}
+
+// NodeDevice qualifies a DeviceID with the node hosting it, addressing
+// one endpoint inside a multi-node cluster (internal/cluster). Within
+// one server plain DeviceIDs remain the working currency; NodeDevice
+// exists so cluster-level tooling and wire formats can name devices
+// across replicas unambiguously.
+type NodeDevice struct {
+	Node   int      `json:"node"`
+	Device DeviceID `json:"device"`
+}
+
+// On returns the device qualified with a node index.
+func (d DeviceID) On(node int) NodeDevice { return NodeDevice{Node: node, Device: d} }
+
+// String names the endpoint, e.g. "n2/gpu3" or "n0/host".
+func (n NodeDevice) String() string {
+	return fmt.Sprintf("n%d/%s", n.Node, n.Device)
+}
+
+// Validate checks the endpoint against a cluster of `nodes` replicas of
+// topology t.
+func (n NodeDevice) Validate(nodes int, t *Topology) error {
+	if n.Node < 0 || n.Node >= nodes {
+		return fmt.Errorf("hw: node %d out of range [0,%d)", n.Node, nodes)
+	}
+	if n.Device.IsGPU() && int(n.Device) >= t.NumGPUs {
+		return fmt.Errorf("hw: %v exceeds %d GPUs per node", n, t.NumGPUs)
+	}
+	return nil
 }

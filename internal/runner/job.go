@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mpress/internal/cluster"
 	"mpress/internal/hw"
 	"mpress/internal/memsim"
 	"mpress/internal/model"
@@ -114,11 +115,50 @@ type Config struct {
 	// knobs (only meaningful for the MPress systems).
 	DisableMappingSearch bool
 	DisableStriping      bool
+	// Cluster, when non-nil with Nodes > 1, scales the job out: each
+	// node runs one pipeline replica of this config (hybrid
+	// data+pipeline parallelism) and replicas synchronize gradients
+	// with bucketed ring all-reduces over the cluster's fabric.
+	// Topology defaults to Cluster.Server; if both are set they must
+	// describe the same server. Nil or 1-node clusters reproduce the
+	// single-server run exactly.
+	Cluster *cluster.Cluster
+	// AllReduceBuckets is the gradient bucket count per all-reduce
+	// (defaults to 4 on multi-node jobs; ignored otherwise).
+	AllReduceBuckets int
+}
+
+// Replicas returns the data-parallel replica count: the cluster's node
+// count, or 1 for single-server jobs.
+func (c Config) Replicas() int {
+	if c.Cluster == nil {
+		return 1
+	}
+	return c.Cluster.Nodes
 }
 
 // WithDefaults validates the config and fills defaults, returning the
 // canonical form jobs are fingerprinted over.
 func (c Config) WithDefaults() (Config, error) {
+	if c.Cluster != nil {
+		if err := c.Cluster.Validate(); err != nil {
+			return c, err
+		}
+		if c.Topology == nil {
+			c.Topology = c.Cluster.Server
+		} else if canonicalTopo(c.Topology) != canonicalTopo(c.Cluster.Server) {
+			return c, fmt.Errorf("mpress: Topology %q differs from Cluster.Server %q", c.Topology.Name, c.Cluster.Server.Name)
+		}
+		if c.Replicas() > 1 && c.System.IsZeRO() {
+			return c, fmt.Errorf("mpress: %v is single-server only (its analytic model has no inter-node fabric)", c.System)
+		}
+	}
+	if c.AllReduceBuckets < 0 {
+		return c, fmt.Errorf("mpress: AllReduceBuckets %d is negative", c.AllReduceBuckets)
+	}
+	if c.Replicas() > 1 && c.AllReduceBuckets == 0 {
+		c.AllReduceBuckets = 4
+	}
 	if c.Topology == nil {
 		return c, fmt.Errorf("mpress: Topology is required")
 	}
@@ -178,6 +218,17 @@ type Report struct {
 	// Mapping the stage→GPU assignment used.
 	Plan    *plan.Plan
 	Mapping []hw.DeviceID
+	// Replicas is the data-parallel replica count (1 for single-server
+	// jobs). Duration/TFLOPS/SamplesPerSec above describe one replica;
+	// ClusterTFLOPS and ClusterSamplesPerSec scale them to the whole
+	// cluster (every replica is symmetric).
+	Replicas             int
+	ClusterTFLOPS        float64
+	ClusterSamplesPerSec float64
+	// NICBytes is one node's inter-node egress traffic and AllReduces
+	// its collective count (zero for single-server jobs).
+	NICBytes   units.Bytes
+	AllReduces int64
 }
 
 // Failed reports whether the job hit OOM.
@@ -201,9 +252,9 @@ func NewJob(cfg Config) (*Job, error) {
 		return nil, err
 	}
 	j := &Job{Config: c}
-	j.fp = digest(canonical(c, true))
+	j.fp = digest(canonical(c, true, true))
 	if c.System.Planned() {
-		j.planKey = digest(canonical(c, false))
+		j.planKey = digest(canonical(c, false, false))
 	}
 	return j, nil
 }
@@ -216,16 +267,15 @@ func (j *Job) Fingerprint() string { return j.fp }
 // PlanKey identifies the job's compaction plan: the fingerprint minus
 // the fields a cached plan is independent of (Minibatches — plans are
 // computed on a canonical minibatch count and rebased, see the Plan
-// stage). Empty for systems that do not run the planner.
+// stage — and the cluster: planning is per-replica, so jobs at every
+// node count share the single-server plan). Empty for systems that do
+// not run the planner.
 func (j *Job) PlanKey() string { return j.planKey }
 
-// canonical renders the defaulted config as a stable string. Every
-// field that can change the simulation outcome must appear here; the
-// topology is identified by its full parameter set, not just its
-// name, so custom topologies fingerprint distinctly.
-func canonical(c Config, withMinibatches bool) string {
+// canonicalTopo renders a server topology's full parameter set — not
+// just its name, so custom topologies fingerprint distinctly.
+func canonicalTopo(t *hw.Topology) string {
 	var b strings.Builder
-	t := c.Topology
 	fmt.Fprintf(&b, "topo=%s/g%d/sw%v/lanes%d/nvbw%g/nvlat%d/pcie%g/pcielat%d/host%d/nvmebw%g/nvmelat%d/nvme%d;",
 		t.Name, t.NumGPUs, t.Switched, t.LanesPerGPU,
 		float64(t.NVLinkLaneBW), int64(t.NVLinkLatency),
@@ -239,6 +289,18 @@ func canonical(c Config, withMinibatches bool) string {
 		// The lane matrix shapes D2D routing on asymmetric servers.
 		fmt.Fprintf(&b, "lanes=%v;", t.NVLinkLanes)
 	}
+	return b.String()
+}
+
+// canonical renders the defaulted config as a stable string. Every
+// field that can change the simulation outcome must appear here.
+// withCluster selects whether the scale-out dimension participates
+// (the fingerprint) or not (the plan key); a 1-node cluster renders
+// nothing either way, so it fingerprints identically to the
+// single-server job it is.
+func canonical(c Config, withMinibatches, withCluster bool) string {
+	var b strings.Builder
+	b.WriteString(canonicalTopo(c.Topology))
 	m := c.Model
 	fmt.Fprintf(&b, "model=%s/%v/L%d/H%d/h%d/s%d/v%d/%v;",
 		m.Name, m.Arch, m.Layers, m.Hidden, m.Heads, m.SeqLen, m.Vocab, m.DType)
@@ -249,6 +311,11 @@ func canonical(c Config, withMinibatches bool) string {
 		fmt.Fprintf(&b, "mini=%d;", c.Minibatches)
 	}
 	fmt.Fprintf(&b, "sys=%d;nomap=%v;nostripe=%v", int(c.System), c.DisableMappingSearch, c.DisableStriping)
+	if withCluster && c.Replicas() > 1 {
+		f := c.Cluster.Net
+		fmt.Fprintf(&b, ";cluster=n%d/nic%d/bw%g/lat%d/buckets%d",
+			c.Cluster.Nodes, f.NICs, float64(f.PerNICBW), int64(f.Latency), c.AllReduceBuckets)
+	}
 	return b.String()
 }
 

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 
+	"mpress/internal/cluster"
 	"mpress/internal/exec"
 	"mpress/internal/hw"
 	"mpress/internal/pipeline"
 	"mpress/internal/plan"
+	"mpress/internal/sim"
 	"mpress/internal/zero"
 )
 
@@ -41,6 +43,10 @@ type State struct {
 	ExecOpts *exec.Options
 	Exec     *exec.Result
 	Report   *Report
+	// Net is the inter-node fabric instance of a multi-node run,
+	// attached to the executor's clock by the Apply stage (nil for
+	// single-server jobs).
+	Net *cluster.Net
 
 	// shared marks virtual-stage runs (several stages per GPU).
 	shared bool
@@ -187,13 +193,24 @@ func stageApply(ctx context.Context, st *State) error {
 			Mapping:            st.Mapping,
 			AllowSharedDevices: st.shared,
 		}
-		return nil
+	} else {
+		opts, err := plan.Apply(st.Plan, st.Built, c.Topology)
+		if err != nil {
+			return err
+		}
+		st.ExecOpts = opts
 	}
-	opts, err := plan.Apply(st.Plan, st.Built, c.Topology)
-	if err != nil {
-		return err
+	if c.Replicas() > 1 {
+		// Hybrid parallelism: by symmetry every node runs this same
+		// replica, so one executor plus node 0's NIC model reproduces
+		// the cluster's timing. The fabric shares the run's clock and
+		// gates each stage's optimizer step on its gradient all-reduce.
+		st.ExecOpts.GradSync = func(s *sim.Sim) exec.GradSyncFn {
+			net := cluster.NewNet(s, c.Cluster)
+			st.Net = net
+			return net.AllReduce(c.AllReduceBuckets)
+		}
 	}
-	st.ExecOpts = opts
 	return nil
 }
 
@@ -209,7 +226,7 @@ func stageExecute(ctx context.Context, st *State) error {
 }
 
 func stageReport(ctx context.Context, st *State) error {
-	st.Report = reportFrom(st.Job.Config, st.Exec, st.Plan, st.Mapping)
+	st.Report = reportFrom(st.Job.Config, st.Exec, st.Plan, st.Mapping, st.Net)
 	return nil
 }
 
@@ -234,11 +251,13 @@ func stageZeRO(ctx context.Context, st *State) error {
 	if err != nil {
 		return err
 	}
-	rep := &Report{Config: c, OOM: res.OOM}
+	rep := &Report{Config: c, OOM: res.OOM, Replicas: 1}
 	if res.OOM == nil {
 		rep.Duration = res.Duration
 		rep.TFLOPS = res.TFLOPS
 		rep.SamplesPerSec = res.SamplesPerSec
+		rep.ClusterTFLOPS = res.TFLOPS
+		rep.ClusterSamplesPerSec = res.SamplesPerSec
 		rep.HostPeak = res.HostPeak
 		rep.PerGPUPeak = append(rep.PerGPUPeak, res.PerGPUPeak...)
 	}
@@ -247,18 +266,25 @@ func stageZeRO(ctx context.Context, st *State) error {
 }
 
 // reportFrom assembles the Report for a pipeline-system run.
-func reportFrom(c Config, res *exec.Result, pl *plan.Plan, mapping []hw.DeviceID) *Report {
-	rep := &Report{Config: c, OOM: res.OOM, Plan: pl, Mapping: mapping}
+func reportFrom(c Config, res *exec.Result, pl *plan.Plan, mapping []hw.DeviceID, net *cluster.Net) *Report {
+	rep := &Report{Config: c, OOM: res.OOM, Plan: pl, Mapping: mapping, Replicas: c.Replicas()}
 	if res.OOM == nil {
 		rep.Duration = res.Duration
 		rep.TFLOPS = res.TFLOPS
 		rep.SamplesPerSec = res.SamplesPerSec
+		rep.ClusterTFLOPS = res.TFLOPS * float64(rep.Replicas)
+		rep.ClusterSamplesPerSec = res.SamplesPerSec * float64(rep.Replicas)
 		rep.HostPeak = res.Host.Peak
 		rep.NVLinkBytes = res.Fabric.NVLinkBytes
 		rep.PCIeBytes = res.Fabric.PCIeBytes
 		rep.NVMeBytes = res.Fabric.NVMeBytes
 		for _, g := range res.GPUs {
 			rep.PerGPUPeak = append(rep.PerGPUPeak, g.Peak)
+		}
+		if net != nil {
+			st := net.Stats()
+			rep.NICBytes = st.EgressBytes
+			rep.AllReduces = st.AllReduces
 		}
 	}
 	return rep

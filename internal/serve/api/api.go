@@ -107,6 +107,9 @@ type JobInfo struct {
 	Fingerprint string `json:"fingerprint"`
 	System      string `json:"system"`
 	Model       string `json:"model"`
+	// Nodes is the cluster's replica count (omitted for single-server
+	// jobs).
+	Nodes int `json:"nodes,omitempty"`
 	// HasTrace reports whether GET /v1/jobs/<id>/trace will serve a
 	// Chrome trace for this job.
 	HasTrace bool `json:"has_trace"`

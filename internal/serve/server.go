@@ -339,12 +339,22 @@ func (s *Server) planOne(ctx context.Context, cfg runner.Config, retain bool) (*
 				Fingerprint: resp.Fingerprint,
 				System:      res.Job.Config.System.String(),
 				Model:       res.Job.Config.Model.Name,
+				Nodes:       nodesOf(res.Job.Config),
 				HasTrace:    true,
 			},
 			timeline: trace.Collect(res.State.Built, res.State.Exec),
 		})
 	}
 	return resp, http.StatusOK, nil
+}
+
+// nodesOf reports a config's replica count for the wire, zero (elided)
+// for single-server jobs.
+func nodesOf(c runner.Config) int {
+	if n := c.Replicas(); n > 1 {
+		return n
+	}
+	return 0
 }
 
 // response assembles the wire response for a completed job, embedding

@@ -135,9 +135,78 @@ func GBps(n float64) Bandwidth { return Bandwidth(n * 1e9) }
 // GBpsf reports the bandwidth as decimal gigabytes per second.
 func (bw Bandwidth) GBpsf() float64 { return float64(bw) / 1e9 }
 
+// Gbps constructs a bandwidth from gigabits per second — the unit NIC
+// and switch datasheets quote (a "100 Gbit/s" InfiniBand port moves
+// 12.5 decimal gigabytes per second).
+func Gbps(n float64) Bandwidth { return Bandwidth(n * 1e9 / 8) }
+
+// Gbpsf reports the bandwidth as decimal gigabits per second.
+func (bw Bandwidth) Gbpsf() float64 { return float64(bw) * 8 / 1e9 }
+
 // String formats the bandwidth, e.g. "25.0GB/s".
 func (bw Bandwidth) String() string {
 	return fmt.Sprintf("%.1fGB/s", float64(bw)/1e9)
+}
+
+// BitString formats the bandwidth in network-link units, e.g.
+// "100Gbit/s" for a NIC that String would render as "12.5GB/s".
+// Sub-gigabit rates fall back to Mbit/s.
+func (bw Bandwidth) BitString() string {
+	bits := float64(bw) * 8
+	if bits >= 1e9 || bits == 0 {
+		return fmt.Sprintf("%gGbit/s", bits/1e9)
+	}
+	return fmt.Sprintf("%gMbit/s", bits/1e6)
+}
+
+// ParseBandwidth parses link-rate strings in either byte or bit units:
+// "25GB/s", "11.7GBps", "900MB/s" (bytes), "100Gbps", "100Gbit/s",
+// "400Mbps" (bits). A bare number is bytes per second.
+func ParseBandwidth(s string) (Bandwidth, error) {
+	t := strings.TrimSpace(s)
+	upper := strings.ToUpper(t)
+	mult := 1.0
+	for _, suf := range []struct {
+		name string
+		m    float64
+	}{
+		// Bit suffixes first: "GBIT/S" would otherwise never match
+		// after "B/S" strips, and "GBPS" (bytes) must not swallow
+		// "GBPS"-meaning-bits — bits use lowercase-b conventions, so we
+		// distinguish on the canonical spellings below.
+		{"GBIT/S", 1e9 / 8}, {"MBIT/S", 1e6 / 8},
+		{"GB/S", 1e9}, {"MB/S", 1e6},
+	} {
+		if strings.HasSuffix(upper, suf.name) {
+			mult = suf.m
+			t = strings.TrimSpace(t[:len(t)-len(suf.name)])
+			goto parse
+		}
+	}
+	// "Gbps"/"Mbps" vs "GBps"/"MBps": lowercase b is bits, uppercase B
+	// is bytes — the one place where case matters.
+	for _, suf := range []struct {
+		name string
+		m    float64
+	}{
+		{"GBps", 1e9}, {"MBps", 1e6},
+		{"Gbps", 1e9 / 8}, {"Mbps", 1e6 / 8},
+	} {
+		if strings.HasSuffix(t, suf.name) {
+			mult = suf.m
+			t = strings.TrimSpace(t[:len(t)-len(suf.name)])
+			goto parse
+		}
+	}
+parse:
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: cannot parse %q as bandwidth: %v", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("units: negative bandwidth %q", s)
+	}
+	return Bandwidth(v * mult), nil
 }
 
 // TransferTime computes how long moving size bytes takes at this

@@ -26,6 +26,7 @@
 package mpress
 
 import (
+	"mpress/internal/cluster"
 	"mpress/internal/hw"
 	"mpress/internal/memsim"
 	"mpress/internal/model"
@@ -117,10 +118,41 @@ const (
 	MiB = units.MiB
 )
 
-// GBps and TFLOPS build link bandwidths and compute rates.
+// GBps and TFLOPS build link bandwidths and compute rates; Gbps is the
+// bits-per-second form NIC fabrics are quoted in (Gbps(100) = 12.5
+// decimal GB/s).
 var (
 	GBps   = units.GBps
+	Gbps   = units.Gbps
 	TFLOPS = units.TFLOPS
+)
+
+// Scale-out building blocks (internal/cluster): compose N identical
+// servers into a cluster over a modeled NIC fabric and run hybrid
+// data+pipeline parallelism by setting Config.Cluster. See "Scaling
+// out" in the README.
+type (
+	// Cluster is N identical servers joined by a Fabric; each node
+	// hosts one pipeline replica of the job.
+	Cluster = cluster.Cluster
+	// Fabric describes the inter-node network (NICs per node, per-NIC
+	// bandwidth, latency).
+	Fabric = cluster.Fabric
+)
+
+// Fabric presets and constructors.
+var (
+	// NewCluster builds and validates an n-node cluster.
+	NewCluster = cluster.New
+	// MustCluster is NewCluster panicking on invalid input.
+	MustCluster = cluster.MustNew
+	// InfiniBand4x100 is the fast preset: 4 x 100 Gbit/s per node.
+	InfiniBand4x100 = cluster.InfiniBand4x100
+	// Ethernet25G and Ethernet10G are the commodity presets.
+	Ethernet25G = cluster.Ethernet25G
+	Ethernet10G = cluster.Ethernet10G
+	// LookupFabric resolves CLI names ("fast", "slow", "ib-4x100", …).
+	LookupFabric = cluster.LookupFabric
 )
 
 // Topology constructors (paper Sec. IV-A testbeds).
