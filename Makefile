@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race fmt vet smoke
+.PHONY: check build test race fmt vet smoke bench
 
 check: fmt vet build race
 
@@ -9,6 +9,15 @@ smoke:
 	@set -e; for d in examples/*/; do \
 		echo "== go run ./$$d"; $(GO) run ./$$d; \
 	done
+
+# Performance trajectory: Go micro-benchmarks plus the scaling and
+# resilience experiments, each writing machine-readable per-job perf
+# records (BENCH_*.json: fingerprint, samples/sec, wall time) for
+# commit-over-commit comparison. Non-blocking in CI.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./... | tee BENCH_go.txt
+	$(GO) run ./cmd/mpress-bench -exp scaling -perf BENCH_scaling.json > /dev/null
+	$(GO) run ./cmd/mpress-bench -exp resilience -perf BENCH_resilience.json > /dev/null
 
 build:
 	$(GO) build ./...

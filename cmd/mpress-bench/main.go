@@ -6,21 +6,43 @@
 //	mpress-bench -list
 //	mpress-bench -exp fig7
 //	mpress-bench -exp all -jobs 4
+//	mpress-bench -exp scaling -perf BENCH_scaling.json
 //	mpress-bench            # run everything
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"sync"
 
+	"mpress"
 	"mpress/internal/experiments"
 )
+
+// perfRecord is one training job's performance sample, emitted by
+// -perf for trajectory tracking across commits. SamplesPerSec is the
+// simulated throughput (zero for OOM/error jobs); WallMS is the real
+// time the job occupied a worker, the cost of running the simulator
+// itself.
+type perfRecord struct {
+	Experiment    string  `json:"experiment"`
+	Fingerprint   string  `json:"fingerprint"`
+	System        string  `json:"system"`
+	Model         string  `json:"model"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	Goodput       float64 `json:"goodput,omitempty"`
+	WallMS        float64 `json:"wall_ms"`
+	Status        string  `json:"status"`
+}
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	exp := flag.String("exp", "", "run only the named experiment, or \"all\" (see -list)")
 	jobs := flag.Int("jobs", 0, "concurrent training jobs per experiment (default GOMAXPROCS)")
+	perf := flag.String("perf", "", "write per-job perf records (JSON array) to this file")
 	flag.Parse()
 
 	if *list {
@@ -32,7 +54,62 @@ func main() {
 
 	experiments.SetParallelism(*jobs)
 
+	// The observer runs on worker goroutines; current is only written
+	// between experiments, while the pool is idle.
+	var (
+		mu      sync.Mutex
+		records []perfRecord
+		current string
+	)
+	if *perf != "" {
+		experiments.SetObserver(func(jr mpress.JobResult) {
+			rec := perfRecord{
+				Experiment:  current,
+				Fingerprint: jr.Job.Fingerprint(),
+				System:      jr.Job.Config.System.String(),
+				Model:       jr.Job.Config.Model.Name,
+				WallMS:      float64(jr.Elapsed.Microseconds()) / 1e3,
+				Status:      "ok",
+			}
+			switch {
+			case jr.Err != nil:
+				rec.Status = "error"
+			case jr.Report.Failed():
+				rec.Status = "oom"
+			default:
+				rec.SamplesPerSec = jr.Report.SamplesPerSec
+				rec.Goodput = jr.Report.Goodput
+			}
+			mu.Lock()
+			records = append(records, rec)
+			mu.Unlock()
+		})
+	}
+
+	writePerf := func() {
+		if *perf == "" {
+			return
+		}
+		// Jobs complete in pool order; sort for a stable artifact.
+		sort.Slice(records, func(i, j int) bool {
+			if records[i].Experiment != records[j].Experiment {
+				return records[i].Experiment < records[j].Experiment
+			}
+			return records[i].Fingerprint < records[j].Fingerprint
+		})
+		out, err := json.MarshalIndent(records, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*perf, append(out, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpress-bench: writing %s: %v\n", *perf, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mpress-bench: wrote %d perf records to %s\n", len(records), *perf)
+	}
+
 	run := func(e experiments.Experiment) {
+		current = e.Name
 		fmt.Printf("=== %s: %s ===\n", e.Name, e.Title)
 		if err := e.Run(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "mpress-bench: %s: %v\n", e.Name, err)
@@ -54,11 +131,13 @@ func main() {
 			os.Exit(2)
 		}
 		run(e)
+		writePerf()
 		summary()
 		return
 	}
 	for _, e := range experiments.All() {
 		run(e)
 	}
+	writePerf()
 	summary()
 }

@@ -67,7 +67,10 @@ func main() {
 	miniFlag := flag.String("minibatches", "", "comma-separated minibatch counts (default 2)")
 	sizesFlag := flag.String("sizes", "", "comma-separated variant sizes (default: all)")
 	nodesFlag := flag.String("nodes", "1", "comma-separated node counts; > 1 runs hybrid data+pipeline parallelism")
-	fabricFlag := flag.String("fabric", "fast", "inter-node fabric for multi-node points: fast (ib-4x100), eth-25g, slow (eth-10g)")
+	fabricFlag := flag.String("fabric", "fast", "inter-node fabric for multi-node points, one of: "+strings.Join(mpress.FabricNames(), ", "))
+	mtbf := flag.Duration("mtbf", 0, "inject seeded faults with this mean time between failures (simulated; 0 disables)")
+	ckptInterval := flag.Duration("ckpt-interval", 0, "checkpoint interval (simulated; with -mtbf, 0 means the Young–Daly optimum)")
+	faultSeed := flag.Uint64("fault-seed", 0, "seed for the deterministic fault schedule")
 	jobs := flag.Int("jobs", 0, "concurrent training jobs (default GOMAXPROCS)")
 	cacheEntries := flag.Int("cache-entries", 0, "plan cache entry cap (0 default, negative unbounded)")
 	timeout := flag.Duration("timeout", 0, "abort the whole sweep after this long (default none)")
@@ -118,6 +121,31 @@ func main() {
 		minis = parseInts("minibatches", *miniFlag)
 	}
 
+	// Resilience: -mtbf turns on seeded fault injection, and any
+	// resilient run checkpoints (-ckpt-interval 0 lets Young–Daly pick
+	// the interval from the MTBF). -ckpt-interval alone runs
+	// checkpoint-only (overhead measurement, no faults).
+	var faults *mpress.Faults
+	var ckptPolicy *mpress.Checkpoint
+	if *mtbf > 0 {
+		faults = &mpress.Faults{Seed: *faultSeed, MTBF: mpress.Duration(*mtbf)}
+	}
+	if *mtbf > 0 || *ckptInterval > 0 {
+		ckptPolicy = &mpress.Checkpoint{Interval: mpress.Duration(*ckptInterval)}
+	}
+	mtbfCol, ckptCol := "-", "-"
+	if faults != nil {
+		mtbfCol = mtbf.String()
+	}
+	if ckptPolicy != nil {
+		if ckptPolicy.Interval == 0 {
+			ckptCol = "young-daly"
+		} else {
+			ckptCol = ckptInterval.String()
+		}
+	}
+	resilient := faults != nil || ckptPolicy != nil
+
 	var systems []mpress.System
 	var systemNames []string
 	for _, name := range strings.Split(*systemsFlag, ",") {
@@ -162,6 +190,8 @@ func main() {
 							MicrobatchSize: mb,
 							Minibatches:    mini,
 							Cluster:        clus,
+							Faults:         faults,
+							Checkpoint:     ckptPolicy,
 						})
 						points = append(points, point{size, m.Billions(), i, mb, mini, nodes})
 					}
@@ -202,9 +232,10 @@ func main() {
 	defer w.Flush()
 	if err := w.Write([]string{
 		"family", "size", "params_b", "topology", "system", "microbatch", "minibatches",
-		"nodes", "fabric",
+		"nodes", "fabric", "mtbf", "ckpt_interval",
 		"status", "tflops", "samples_per_sec", "max_gpu_peak_gib", "host_peak_gib",
 		"cluster_tflops", "nic_egress_gib",
+		"goodput", "failures", "lost_work_s", "ckpt_gib",
 	}); err != nil {
 		fail("%v", err)
 	}
@@ -222,15 +253,15 @@ func main() {
 		row := []string{
 			*family, p.size, fmt.Sprintf("%.2f", p.params),
 			topo.Name, systemNames[p.sysIdx], strconv.Itoa(p.mb), strconv.Itoa(mini),
-			strconv.Itoa(p.nodes), fabName,
+			strconv.Itoa(p.nodes), fabName, mtbfCol, ckptCol,
 		}
 		rep := jr.Report
 		switch {
 		case jr.Err != nil:
 			failed++
-			row = append(row, "error", "", "", "", "", "", "")
+			row = append(row, "error", "", "", "", "", "", "", "", "", "", "")
 		case rep.Failed():
-			row = append(row, "oom", "", "", "", "", "", "")
+			row = append(row, "oom", "", "", "", "", "", "", "", "", "", "")
 		default:
 			var peak mpress.Bytes
 			for _, pk := range rep.PerGPUPeak {
@@ -247,6 +278,16 @@ func main() {
 				fmt.Sprintf("%.2f", rep.ClusterTFLOPS),
 				fmt.Sprintf("%.2f", rep.NICBytes.GiBf()),
 			)
+			if resilient {
+				row = append(row,
+					fmt.Sprintf("%.2f", rep.Goodput),
+					strconv.Itoa(rep.Failures),
+					fmt.Sprintf("%.3f", rep.LostWork.Secondsf()),
+					fmt.Sprintf("%.2f", rep.CheckpointBytes.GiBf()),
+				)
+			} else {
+				row = append(row, "-", "-", "-", "-")
+			}
 		}
 		if err := w.Write(row); err != nil {
 			fail("%v", err)

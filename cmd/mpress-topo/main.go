@@ -30,7 +30,7 @@ func main() {
 	topoName := flag.String("topo", "dgx1", "topology: dgx1, dgx1-nvme, dgx2, grace")
 	sizeStr := flag.String("size", "256MiB", "transfer size for the bandwidth probe")
 	nodes := flag.Int("nodes", 1, "node count; > 1 composes a multi-node cluster")
-	fabricName := flag.String("fabric", "fast", "inter-node fabric: fast (ib-4x100), eth-25g, slow (eth-10g)")
+	fabricName := flag.String("fabric", "fast", "inter-node fabric, one of: "+strings.Join(cluster.FabricNames(), ", "))
 	asJSON := flag.Bool("json", false, "emit the topology (or cluster, with -nodes > 1) as JSON and exit")
 	flag.Parse()
 

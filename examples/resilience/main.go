@@ -1,0 +1,68 @@
+// Resilience: survive an injected hardware fault with
+// checkpoint/restart and degraded-topology re-planning.
+//
+// The example trains Bert-1.67B under MPress twice: once fault-free
+// for the ideal baseline, then with a scripted NVLink failure halfway
+// through and periodic checkpoints. On the fault the runner rolls the
+// job back to its last durable snapshot, re-plans D2D swap striping on
+// the degraded topology (the downed pair is no longer a swap target),
+// and resumes — the report compares goodput against the fault-free
+// throughput and itemizes where the lost time went.
+//
+//	go run ./examples/resilience
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpress"
+)
+
+func main() {
+	base := mpress.Config{
+		Topology:       mpress.DGX1(),
+		Model:          mpress.MustBert("1.67B"),
+		Schedule:       mpress.PipeDream,
+		System:         mpress.SystemMPress,
+		MicrobatchSize: 12,
+		Minibatches:    4,
+	}
+
+	ideal, err := mpress.Train(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ideal.Failed() {
+		log.Fatalf("out of memory: %v", ideal.OOM)
+	}
+	fmt.Printf("fault-free %s: %.2f samples/s, %v/run\n",
+		ideal.Config.Model.Name, ideal.SamplesPerSec, ideal.Duration)
+
+	// Script one NVLink failure at mid-run and checkpoint often enough
+	// that at most ~an eighth of the run is ever at risk.
+	faulty := base
+	faulty.Faults = &mpress.Faults{Script: []mpress.Fault{
+		{Kind: mpress.NVLinkFail, At: ideal.Duration / 2, GPU: 0, Peer: 3},
+	}}
+	faulty.Checkpoint = &mpress.Checkpoint{Interval: ideal.Duration / 8}
+
+	rep, err := mpress.Train(faulty)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.Failed() {
+		log.Fatalf("out of memory after degradation: %v", rep.OOM)
+	}
+
+	fmt.Printf("with NVLink 0-3 failing at %v: %.2f samples/s goodput (%.1f%% of ideal)\n",
+		ideal.Duration/2, rep.Goodput, 100*rep.Goodput/ideal.SamplesPerSec)
+	fmt.Printf("  wall %v vs ideal %v: %d checkpoints (%v written, %v stall), "+
+		"%v of work lost, %v recovering\n",
+		rep.Duration, rep.IdealDuration, rep.Checkpoints, rep.CheckpointBytes,
+		rep.CheckpointTime, rep.LostWork, rep.RecoveryTime)
+	for _, r := range rep.Recoveries {
+		fmt.Printf("  %v -> re-planned on %s, resumed at minibatch %d\n",
+			r.Fault, r.Topology, r.ResumedMinibatch)
+	}
+}

@@ -1,0 +1,300 @@
+// Package chaos generates deterministic fault schedules for resilient
+// training runs. A schedule is a list of faults — GPU death, NVLink
+// loss, NIC flap, host-memory pressure — stamped with absolute
+// simulated times; the runner injects each as an event on the
+// discrete-event clock, rolls back to the last checkpoint and re-plans
+// on the degraded topology (internal/hw degradation constructors).
+//
+// Determinism is a repo-wide contract: the same Seed, MTBF and
+// topology always yield the identical schedule, byte for byte, across
+// runs and Go releases. The package therefore uses its own splitmix64
+// generator instead of math/rand, whose stream is not guaranteed
+// stable between Go versions.
+package chaos
+
+import (
+	"fmt"
+	"math"
+
+	"mpress/internal/hw"
+	"mpress/internal/units"
+)
+
+// Kind enumerates the fault classes the simulator can inject.
+type Kind int
+
+const (
+	// GPUFail kills one GPU; it is removed from the topology and the
+	// pipeline re-partitions across the survivors.
+	GPUFail Kind = iota
+	// NVLinkFail downs the NVLink path between two GPUs; D2D swap
+	// striping must re-plan around the missing peer.
+	NVLinkFail
+	// NICFlap is a transient inter-node network fault: the run rolls
+	// back and restarts, but the topology is not degraded. Only
+	// generated for multi-node jobs.
+	NICFlap
+	// HostPressure models a co-located process claiming host DRAM,
+	// shrinking the swap space the planner may use.
+	HostPressure
+
+	numKinds
+)
+
+var kindNames = [...]string{"gpu-fail", "nvlink-fail", "nic-flap", "host-pressure"}
+
+// String returns the kind's canonical name.
+func (k Kind) String() string {
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Fault is one scheduled hardware fault. At is absolute wall-clock
+// simulated time measured over the whole resilient run (checkpoint
+// stalls and recoveries included), not per-segment time.
+type Fault struct {
+	Kind Kind           `json:"kind"`
+	At   units.Duration `json:"at"`
+	// GPU is the victim (GPUFail) or one NVLink endpoint (NVLinkFail).
+	GPU hw.DeviceID `json:"gpu,omitempty"`
+	// Peer is the other NVLink endpoint (NVLinkFail only).
+	Peer hw.DeviceID `json:"peer,omitempty"`
+	// HostLoss is the DRAM claimed by the intruder (HostPressure only).
+	HostLoss units.Bytes `json:"host_loss,omitempty"`
+}
+
+// String renders the fault for logs and traces.
+func (f Fault) String() string {
+	switch f.Kind {
+	case GPUFail:
+		return fmt.Sprintf("%v@%v(%v)", f.Kind, f.At, f.GPU)
+	case NVLinkFail:
+		return fmt.Sprintf("%v@%v(%v-%v)", f.Kind, f.At, f.GPU, f.Peer)
+	case HostPressure:
+		return fmt.Sprintf("%v@%v(-%v)", f.Kind, f.At, f.HostLoss)
+	default:
+		return fmt.Sprintf("%v@%v", f.Kind, f.At)
+	}
+}
+
+// DefaultMaxFaults bounds seeded schedules (and therefore recovery
+// loops) when Config.MaxFaults is zero.
+const DefaultMaxFaults = 4
+
+// DefaultDetectionDelay is the simulated time between a fault firing
+// and the restarted job beginning its restore transfer — failure
+// detection, process teardown and relaunch — when Config.
+// DetectionDelay is zero.
+const DefaultDetectionDelay = 2 * units.Second
+
+// Config describes a fault model. Either Script pins an explicit fault
+// list (tests, repros) or Seed+MTBF generate one with exponential
+// inter-arrival times.
+type Config struct {
+	// Seed drives the deterministic generator. Seed 0 is as valid as
+	// any other; two runs with equal Seed and MTBF see equal faults.
+	Seed uint64 `json:"seed"`
+	// MTBF is the mean time between failures in simulated time.
+	MTBF units.Duration `json:"mtbf"`
+	// MaxFaults caps how many faults a seeded schedule contains
+	// (default DefaultMaxFaults). Faults beyond the job's lifetime are
+	// simply never reached.
+	MaxFaults int `json:"max_faults,omitempty"`
+	// Kinds restricts the generated fault classes; empty means every
+	// class applicable to the topology.
+	Kinds []Kind `json:"kinds,omitempty"`
+	// Script, when non-empty, is used verbatim (sorted by At) instead
+	// of seeded generation.
+	Script []Fault `json:"script,omitempty"`
+	// DetectionDelay is added to every recovery before the restore
+	// transfer begins (default DefaultDetectionDelay).
+	DetectionDelay units.Duration `json:"detection_delay,omitempty"`
+}
+
+// Validate checks the config against the topology it will torment.
+func (c *Config) Validate(topo *hw.Topology, nodes int) error {
+	if c == nil {
+		return nil
+	}
+	if len(c.Script) == 0 && c.MTBF <= 0 {
+		return fmt.Errorf("chaos: need MTBF > 0 (got %v) or an explicit Script", c.MTBF)
+	}
+	if c.MaxFaults < 0 {
+		return fmt.Errorf("chaos: negative MaxFaults %d", c.MaxFaults)
+	}
+	if c.DetectionDelay < 0 {
+		return fmt.Errorf("chaos: negative DetectionDelay %v", c.DetectionDelay)
+	}
+	for _, k := range c.Kinds {
+		if k < 0 || k >= numKinds {
+			return fmt.Errorf("chaos: unknown fault kind %v", k)
+		}
+		if k == NICFlap && nodes <= 1 {
+			return fmt.Errorf("chaos: %v needs a multi-node cluster", k)
+		}
+	}
+	prev := units.Duration(-1)
+	for i, f := range c.Script {
+		if f.Kind < 0 || f.Kind >= numKinds {
+			return fmt.Errorf("chaos: script[%d] has unknown kind %v", i, f.Kind)
+		}
+		if f.At <= 0 {
+			return fmt.Errorf("chaos: script[%d] fires at %v; faults need At > 0", i, f.At)
+		}
+		if f.At < prev {
+			return fmt.Errorf("chaos: script must be sorted by At (entry %d)", i)
+		}
+		prev = f.At
+		switch f.Kind {
+		case GPUFail:
+			if !f.GPU.IsGPU() || int(f.GPU) >= topo.NumGPUs {
+				return fmt.Errorf("chaos: script[%d] kills %v, topology has %d GPUs", i, f.GPU, topo.NumGPUs)
+			}
+		case NVLinkFail:
+			if topo.LanesBetween(f.GPU, f.Peer) == 0 {
+				return fmt.Errorf("chaos: script[%d] downs %v-%v, which has no NVLink", i, f.GPU, f.Peer)
+			}
+		case NICFlap:
+			if nodes <= 1 {
+				return fmt.Errorf("chaos: script[%d] flaps a NIC on a single-node job", i)
+			}
+		case HostPressure:
+			if f.HostLoss <= 0 || f.HostLoss >= topo.HostMemory {
+				return fmt.Errorf("chaos: script[%d] host loss %v out of (0,%v)", i, f.HostLoss, topo.HostMemory)
+			}
+		}
+	}
+	return nil
+}
+
+// Detection returns the configured or default detection delay.
+func (c *Config) Detection() units.Duration {
+	if c == nil {
+		return 0
+	}
+	if c.DetectionDelay > 0 {
+		return c.DetectionDelay
+	}
+	return DefaultDetectionDelay
+}
+
+// Schedule materializes the fault list for one run against the given
+// healthy topology: the Script verbatim if set, otherwise MaxFaults
+// seeded faults with Exp(MTBF) inter-arrival gaps. Targets are drawn
+// against the healthy topology; the runner skips faults whose target
+// already died in an earlier recovery.
+func (c *Config) Schedule(topo *hw.Topology, nodes int) []Fault {
+	if c == nil {
+		return nil
+	}
+	if len(c.Script) > 0 {
+		return append([]Fault(nil), c.Script...)
+	}
+	kinds := c.applicableKinds(topo, nodes)
+	max := c.MaxFaults
+	if max == 0 {
+		max = DefaultMaxFaults
+	}
+	var pairs [][2]hw.DeviceID
+	for i := 0; i < topo.NumGPUs; i++ {
+		for j := i + 1; j < topo.NumGPUs; j++ {
+			if topo.LanesBetween(hw.DeviceID(i), hw.DeviceID(j)) > 0 {
+				pairs = append(pairs, [2]hw.DeviceID{hw.DeviceID(i), hw.DeviceID(j)})
+			}
+		}
+	}
+
+	r := rng{state: c.Seed}
+	var out []Fault
+	at := units.Duration(0)
+	for len(out) < max {
+		at += exp(&r, c.MTBF)
+		f := Fault{Kind: kinds[r.intn(len(kinds))], At: at}
+		switch f.Kind {
+		case GPUFail:
+			f.GPU = hw.DeviceID(r.intn(topo.NumGPUs))
+		case NVLinkFail:
+			p := pairs[r.intn(len(pairs))]
+			f.GPU, f.Peer = p[0], p[1]
+		case HostPressure:
+			// Claim 25-75% of host DRAM.
+			frac := 0.25 + 0.5*r.float()
+			f.HostLoss = units.Bytes(frac * float64(topo.HostMemory))
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func (c *Config) applicableKinds(topo *hw.Topology, nodes int) []Kind {
+	if len(c.Kinds) > 0 {
+		return c.Kinds
+	}
+	kinds := []Kind{GPUFail, HostPressure}
+	if topo.Switched || anyLanes(topo) {
+		kinds = append(kinds, NVLinkFail)
+	}
+	if nodes > 1 {
+		kinds = append(kinds, NICFlap)
+	}
+	return kinds
+}
+
+func anyLanes(t *hw.Topology) bool {
+	for i := range t.NVLinkLanes {
+		for _, l := range t.NVLinkLanes[i] {
+			if l > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Canonical renders the config for job fingerprinting: every field
+// that can change simulated behavior, in a fixed order.
+func (c *Config) Canonical() string {
+	if c == nil {
+		return "faults=none"
+	}
+	s := fmt.Sprintf("faults=seed:%d,mtbf:%d,max:%d,detect:%d", c.Seed, c.MTBF, c.MaxFaults, c.DetectionDelay)
+	for _, k := range c.Kinds {
+		s += fmt.Sprintf(",kind:%v", k)
+	}
+	for _, f := range c.Script {
+		s += fmt.Sprintf(",script:%v:%d:%d:%d:%d", f.Kind, f.At, f.GPU, f.Peer, f.HostLoss)
+	}
+	return s
+}
+
+// rng is a splitmix64 generator. Not math/rand: the byte-identical
+// CSV contract must survive Go version bumps, so the stream is pinned
+// here.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// intn returns a uniform int in [0, n). The tiny modulo bias is
+// irrelevant for fault sampling.
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// exp samples an exponential inter-arrival gap with the given mean,
+// clamped to at least one microsecond so schedules always advance.
+func exp(r *rng, mean units.Duration) units.Duration {
+	d := units.Duration(-float64(mean) * math.Log(1-r.float()))
+	if d < units.Microsecond {
+		d = units.Microsecond
+	}
+	return d
+}

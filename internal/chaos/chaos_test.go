@@ -1,0 +1,99 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"mpress/internal/hw"
+	"mpress/internal/units"
+)
+
+func TestScheduleDeterminism(t *testing.T) {
+	topo := hw.DGX1()
+	cfg := &Config{Seed: 42, MTBF: 30 * units.Second}
+	a := cfg.Schedule(topo, 1)
+	b := cfg.Schedule(topo, 1)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+	}
+	if len(a) != DefaultMaxFaults {
+		t.Fatalf("got %d faults, want %d", len(a), DefaultMaxFaults)
+	}
+	prev := units.Duration(0)
+	for _, f := range a {
+		if f.At <= prev {
+			t.Fatalf("schedule not strictly increasing: %v", a)
+		}
+		prev = f.At
+	}
+
+	other := &Config{Seed: 43, MTBF: 30 * units.Second}
+	if reflect.DeepEqual(a, other.Schedule(topo, 1)) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestScheduleKindsAndTargets(t *testing.T) {
+	topo := hw.DGX1()
+	cfg := &Config{Seed: 7, MTBF: 10 * units.Second, MaxFaults: 64, Kinds: []Kind{NVLinkFail}}
+	for _, f := range cfg.Schedule(topo, 1) {
+		if f.Kind != NVLinkFail {
+			t.Fatalf("restricted schedule produced %v", f)
+		}
+		if topo.LanesBetween(f.GPU, f.Peer) == 0 {
+			t.Fatalf("fault %v targets a pair with no NVLink", f)
+		}
+	}
+	// Single-node default schedules never flap a NIC.
+	all := &Config{Seed: 7, MTBF: 10 * units.Second, MaxFaults: 64}
+	for _, f := range all.Schedule(topo, 1) {
+		if f.Kind == NICFlap {
+			t.Fatalf("NIC flap scheduled for a single-node job: %v", f)
+		}
+	}
+}
+
+func TestScriptPassthroughAndValidate(t *testing.T) {
+	topo := hw.DGX1()
+	script := []Fault{{Kind: NVLinkFail, At: units.Second, GPU: 0, Peer: 3}}
+	cfg := &Config{Script: script}
+	if err := cfg.Validate(topo, 1); err != nil {
+		t.Fatal(err)
+	}
+	got := cfg.Schedule(topo, 1)
+	if !reflect.DeepEqual(got, script) {
+		t.Fatalf("script not passed through: %v", got)
+	}
+
+	bad := []*Config{
+		{}, // no MTBF, no script
+		{Script: []Fault{{Kind: GPUFail, At: units.Second, GPU: 9}}},
+		{Script: []Fault{{Kind: NVLinkFail, At: units.Second, GPU: 0, Peer: 5}}},
+		{Script: []Fault{{Kind: GPUFail, At: 0, GPU: 1}}},
+		{Script: []Fault{{Kind: NICFlap, At: units.Second}}},
+		{MTBF: units.Second, Kinds: []Kind{NICFlap}},
+		{Script: []Fault{{Kind: HostPressure, At: units.Second, HostLoss: 2 * topo.HostMemory}}},
+		{Script: []Fault{
+			{Kind: GPUFail, At: 2 * units.Second, GPU: 1},
+			{Kind: GPUFail, At: units.Second, GPU: 2},
+		}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(topo, 1); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestCanonicalDistinguishesConfigs(t *testing.T) {
+	a := &Config{Seed: 1, MTBF: units.Second}
+	b := &Config{Seed: 2, MTBF: units.Second}
+	c := &Config{Seed: 1, MTBF: 2 * units.Second}
+	if a.Canonical() == b.Canonical() || a.Canonical() == c.Canonical() {
+		t.Error("canonical strings collide across distinct configs")
+	}
+	var nilCfg *Config
+	if nilCfg.Canonical() != "faults=none" {
+		t.Errorf("nil canonical = %q", nilCfg.Canonical())
+	}
+}

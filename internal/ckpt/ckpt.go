@@ -1,0 +1,143 @@
+// Package ckpt models periodic checkpointing of training state to the
+// host/NVMe tiers. A checkpoint snapshots every stage's weights and
+// optimizer state over the modeled PCIe links (plus the NVMe stream
+// when the topology has SSDs); on an injected failure (internal/chaos)
+// the runner pays a restore transfer in the opposite direction and
+// replays the minibatches completed since the snapshot.
+//
+// The interval policy supports a fixed interval or the Young–Daly
+// optimum sqrt(2·C·MTBF), the classical first-order minimizer of
+// checkpoint overhead plus expected lost work.
+package ckpt
+
+import (
+	"fmt"
+	"math"
+
+	"mpress/internal/hw"
+	"mpress/internal/pipeline"
+	"mpress/internal/tensor"
+	"mpress/internal/units"
+)
+
+// Policy selects the checkpoint cadence for a resilient run.
+type Policy struct {
+	// Interval is the minimum simulated time between checkpoint
+	// snapshots. Zero means Young–Daly: the runner computes
+	// sqrt(2·C·MTBF) from the modeled checkpoint cost C and the fault
+	// model's MTBF (which must then be configured).
+	Interval units.Duration `json:"interval"`
+}
+
+// Validate checks the policy.
+func (p *Policy) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if p.Interval < 0 {
+		return fmt.Errorf("ckpt: negative interval %v", p.Interval)
+	}
+	return nil
+}
+
+// Canonical renders the policy for job fingerprinting.
+func (p *Policy) Canonical() string {
+	if p == nil {
+		return "ckpt=none"
+	}
+	return fmt.Sprintf("ckpt=interval:%d", p.Interval)
+}
+
+// StageBytes returns each stage's checkpoint payload: the persistent
+// parameter and optimizer-state tensors (gradients are recomputed, not
+// restored; activations are transient). Weight-stashing schedules
+// (PipeDream) snapshot their stash versions too — they are resident
+// state the restore must reproduce.
+func StageBytes(b *pipeline.Built) []units.Bytes {
+	out := make([]units.Bytes, b.NumStages())
+	for s := range out {
+		for _, id := range b.Persistent[s] {
+			tn := b.Graph.Tensors.Get(id)
+			if tn.Class == tensor.Parameter || tn.Class == tensor.OptimizerState {
+				out[s] += tn.Size
+			}
+		}
+	}
+	return out
+}
+
+// Total sums a per-stage payload.
+func Total(perStage []units.Bytes) units.Bytes {
+	var t units.Bytes
+	for _, b := range perStage {
+		t += b
+	}
+	return t
+}
+
+// Cost returns the modeled duration of one checkpoint on topo: every
+// stage drains to host over its own PCIe link in parallel, and when
+// the topology has NVMe the aggregate additionally streams through the
+// (shared) SSD array. This matches the event pattern internal/exec
+// uses, absent contention from concurrent swap traffic.
+func Cost(topo *hw.Topology, perStage []units.Bytes) units.Duration {
+	var d2h units.Duration
+	for _, bytes := range perStage {
+		if bytes <= 0 {
+			continue
+		}
+		if t := topo.PCIeLatency + topo.PCIeBW.TransferTime(bytes); t > d2h {
+			d2h = t
+		}
+	}
+	if topo.NVMeBW > 0 {
+		if t := topo.NVMeLatency + topo.NVMeBW.TransferTime(Total(perStage)); t > d2h {
+			return t
+		}
+	}
+	return d2h
+}
+
+// RestoreCost returns the modeled duration of reloading a checkpoint
+// onto the (possibly degraded) topology — the same links in the other
+// direction, which the simulator models symmetrically.
+func RestoreCost(topo *hw.Topology, perStage []units.Bytes) units.Duration {
+	return Cost(topo, perStage)
+}
+
+// YoungDaly returns the first-order optimal checkpoint interval
+// sqrt(2·C·MTBF) for checkpoint cost C.
+func YoungDaly(cost, mtbf units.Duration) units.Duration {
+	if cost <= 0 || mtbf <= 0 {
+		return 0
+	}
+	return units.Duration(math.Sqrt(2 * float64(cost) * float64(mtbf)))
+}
+
+// ExpectedOverheadRate returns the expected fraction of wall time lost
+// to resilience at checkpoint interval τ: C/τ to take snapshots plus
+// (τ/2 + R)/MTBF expected rework and restore per failure (first-order
+// model; valid for τ ≪ MTBF). YoungDaly minimizes the τ-dependent
+// part exactly.
+func ExpectedOverheadRate(interval, cost, mtbf, restore units.Duration) float64 {
+	if interval <= 0 || mtbf <= 0 {
+		return math.Inf(1)
+	}
+	t, c, m, r := float64(interval), float64(cost), float64(mtbf), float64(restore)
+	return c/t + (t/2+r)/m
+}
+
+// Resolve turns the policy into a concrete interval for the given
+// checkpoint cost and MTBF, applying Young–Daly when unset. The result
+// is clamped below at the checkpoint cost itself — checkpointing more
+// often than a snapshot takes is pure stall.
+func (p *Policy) Resolve(cost, mtbf units.Duration) units.Duration {
+	iv := p.Interval
+	if iv == 0 {
+		iv = YoungDaly(cost, mtbf)
+	}
+	if iv < cost {
+		iv = cost
+	}
+	return iv
+}

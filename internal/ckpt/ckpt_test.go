@@ -1,0 +1,108 @@
+package ckpt
+
+import (
+	"math"
+	"testing"
+
+	"mpress/internal/hw"
+	"mpress/internal/units"
+)
+
+func TestCost(t *testing.T) {
+	topo := hw.DGX1() // no NVMe: parallel PCIe drains, cost = slowest stage
+	perStage := []units.Bytes{8 * units.GiB, 4 * units.GiB}
+	got := Cost(topo, perStage)
+	want := topo.PCIeLatency + topo.PCIeBW.TransferTime(8*units.GiB)
+	if got != want {
+		t.Errorf("Cost = %v, want %v", got, want)
+	}
+	if RestoreCost(topo, perStage) != got {
+		t.Error("restore must mirror checkpoint cost")
+	}
+
+	// With NVMe the cost is the slower of the pipelined PCIe drain and
+	// the serialized SSD stream of the total.
+	nv := hw.DGX1WithNVMe()
+	gotNV := Cost(nv, perStage)
+	wantNV := nv.PCIeLatency + nv.PCIeBW.TransferTime(8*units.GiB)
+	if ssd := nv.NVMeLatency + nv.NVMeBW.TransferTime(12*units.GiB); ssd > wantNV {
+		wantNV = ssd
+	}
+	if gotNV != wantNV {
+		t.Errorf("NVMe Cost = %v, want %v", gotNV, wantNV)
+	}
+	// A slow SSD array (DGX2's measured 6 GB/s) must dominate.
+	slow := hw.DGX2()
+	if got, ssd := Cost(slow, perStage), slow.NVMeLatency+slow.NVMeBW.TransferTime(12*units.GiB); got != ssd {
+		t.Errorf("slow-NVMe Cost = %v, want %v", got, ssd)
+	}
+	if Total(perStage) != 12*units.GiB {
+		t.Errorf("Total = %v", Total(perStage))
+	}
+}
+
+// TestYoungDalyMinimizesOverhead is the acceptance check for the
+// interval policy: across a bracketing sweep of fixed intervals around
+// sqrt(2·C·MTBF), the Young–Daly interval must incur the lowest
+// expected overhead rate.
+func TestYoungDalyMinimizesOverhead(t *testing.T) {
+	const (
+		cost    = 5 * units.Second
+		mtbf    = 30 * 60 * units.Second
+		restore = 12 * units.Second
+	)
+	opt := YoungDaly(cost, mtbf)
+	if want := units.Duration(math.Sqrt(2 * float64(cost) * float64(mtbf))); opt != want {
+		t.Fatalf("YoungDaly = %v, want %v", opt, want)
+	}
+	best := ExpectedOverheadRate(opt, cost, mtbf, restore)
+	for _, mul := range []float64{0.25, 0.5, 0.8, 1.25, 2, 4} {
+		iv := units.Duration(float64(opt) * mul)
+		if rate := ExpectedOverheadRate(iv, cost, mtbf, restore); rate <= best {
+			t.Errorf("interval %v (×%.2f) overhead %.6f beats Young–Daly %v at %.6f",
+				iv, mul, rate, opt, best)
+		}
+	}
+	if !math.IsInf(ExpectedOverheadRate(0, cost, mtbf, restore), 1) {
+		t.Error("zero interval must have infinite overhead")
+	}
+}
+
+func TestPolicyResolve(t *testing.T) {
+	const cost, mtbf = 2 * units.Second, 20 * 60 * units.Second
+	var p *Policy
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fixed := &Policy{Interval: 90 * units.Second}
+	if err := fixed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fixed.Resolve(cost, mtbf); got != 90*units.Second {
+		t.Errorf("fixed Resolve = %v", got)
+	}
+	auto := &Policy{}
+	if got, want := auto.Resolve(cost, mtbf), YoungDaly(cost, mtbf); got != want {
+		t.Errorf("auto Resolve = %v, want %v", got, want)
+	}
+	// Sub-cost intervals clamp up to the cost.
+	tiny := &Policy{Interval: units.Millisecond}
+	if got := tiny.Resolve(cost, mtbf); got != cost {
+		t.Errorf("tiny Resolve = %v, want %v", got, cost)
+	}
+	bad := &Policy{Interval: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative interval validated")
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	var nilP *Policy
+	if nilP.Canonical() != "ckpt=none" {
+		t.Errorf("nil canonical = %q", nilP.Canonical())
+	}
+	a, b := &Policy{Interval: units.Second}, &Policy{Interval: 2 * units.Second}
+	if a.Canonical() == b.Canonical() {
+		t.Error("distinct policies share a canonical string")
+	}
+}

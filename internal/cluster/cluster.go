@@ -16,6 +16,7 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 
 	"mpress/internal/hw"
 	"mpress/internal/units"
@@ -97,19 +98,46 @@ func Ethernet10G() Fabric {
 	}
 }
 
+// fabricPresets maps every accepted -fabric name (including aliases)
+// to its preset constructor, in the order FabricNames lists them.
+var fabricPresets = []struct {
+	name    string
+	aliases []string
+	build   func() Fabric
+}{
+	{"ib-4x100", []string{"fast", "ib"}, InfiniBand4x100},
+	{"eth-25g", []string{"25g"}, Ethernet25G},
+	{"eth-10g", []string{"slow", "10g"}, Ethernet10G},
+}
+
+// FabricNames lists every name LookupFabric accepts — canonical preset
+// names first, then their aliases — for CLI help and error messages.
+func FabricNames() []string {
+	var names []string
+	for _, p := range fabricPresets {
+		names = append(names, p.name)
+	}
+	for _, p := range fabricPresets {
+		names = append(names, p.aliases...)
+	}
+	return names
+}
+
 // LookupFabric resolves a CLI fabric name. "fast" and "slow" alias the
 // InfiniBand and 10G-Ethernet presets.
 func LookupFabric(name string) (Fabric, error) {
-	switch name {
-	case "fast", "ib", "ib-4x100":
-		return InfiniBand4x100(), nil
-	case "eth-25g", "25g":
-		return Ethernet25G(), nil
-	case "slow", "eth-10g", "10g":
-		return Ethernet10G(), nil
-	default:
-		return Fabric{}, fmt.Errorf("cluster: unknown fabric %q (want fast, ib-4x100, eth-25g, slow, eth-10g)", name)
+	for _, p := range fabricPresets {
+		if name == p.name {
+			return p.build(), nil
+		}
+		for _, a := range p.aliases {
+			if name == a {
+				return p.build(), nil
+			}
+		}
 	}
+	return Fabric{}, fmt.Errorf("cluster: unknown fabric %q (valid names: %s)",
+		name, strings.Join(FabricNames(), ", "))
 }
 
 // Cluster is N identical servers joined by a fabric. Each node hosts

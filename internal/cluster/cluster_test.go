@@ -53,6 +53,21 @@ func TestLookupFabric(t *testing.T) {
 	if _, err := LookupFabric("carrier-pigeon"); err == nil {
 		t.Error("unknown fabric resolved")
 	}
+	// The error must teach the valid vocabulary: every accepted name,
+	// canonical or alias, is resolvable and listed.
+	_, err := LookupFabric("carrier-pigeon")
+	names := FabricNames()
+	if len(names) == 0 {
+		t.Fatal("FabricNames is empty")
+	}
+	for _, name := range names {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list valid name %q", err, name)
+		}
+		if _, lerr := LookupFabric(name); lerr != nil {
+			t.Errorf("FabricNames lists %q but LookupFabric rejects it: %v", name, lerr)
+		}
+	}
 	ib := InfiniBand4x100()
 	if s := ib.String(); !strings.Contains(s, "100Gbit/s") {
 		t.Errorf("fabric String %q lacks bit-rate", s)

@@ -59,6 +59,15 @@ type Options struct {
 	// InterruptEvery overrides the cancellation polling stride; zero
 	// keeps the simulator's default.
 	InterruptEvery int64
+	// Checkpoint, when non-nil, snapshots every stage's weights and
+	// optimizer state to the host/NVMe tier at minibatch boundaries,
+	// at least Every apart (internal/ckpt picks the interval). The
+	// next minibatch's optimizer steps wait for the snapshot to drain.
+	Checkpoint *CheckpointSpec
+	// FailAt, when positive, injects a hardware fault at that
+	// simulated time: the run stops dead and Result.Failure records
+	// it. The rollback/re-plan/resume loop lives in internal/runner.
+	FailAt units.Duration
 	// GradSync, when non-nil, joins this run to its data-parallel
 	// replicas (internal/cluster): called once at setup with the run's
 	// clock, it returns the synchronizer invoked whenever a stage's
@@ -120,6 +129,13 @@ type Result struct {
 	// MemorySamples is the Fig. 1 memory-over-time series (only when
 	// Options.SampleMemory is set).
 	MemorySamples []MemSample
+	// Checkpoints lists completed snapshots (Options.Checkpoint), and
+	// CheckpointBytes their cumulative payload.
+	Checkpoints     []Checkpoint
+	CheckpointBytes units.Bytes
+	// Failure is non-nil when Options.FailAt cut the run short; the
+	// result then describes the partial run up to the fault.
+	Failure *Failure
 }
 
 // residency tracks where a tensor's bytes currently live.
@@ -167,6 +183,17 @@ type engine struct {
 	bwOf      map[graph.OpID]pipeline.SlotKey
 	bwLeft    [][]int
 	gradBytes []units.Bytes
+
+	// Resilience state (resilience.go): ckpt is non-nil when periodic
+	// checkpointing is on; failure records an injected fault; opsLeft
+	// counts graph ops yet to complete so a late FailAt event can tell
+	// a live run from a drained one; lastEnd is the latest real
+	// completion time, the run duration when a spurious FailAt event
+	// advanced the clock past the last op.
+	ckpt    *ckptState
+	failure *Failure
+	opsLeft int
+	lastEnd sim.Time
 }
 
 // Run simulates the job and returns its result. Configuration errors
@@ -239,6 +266,9 @@ func Run(o Options) (*Result, error) {
 // the dependency bookkeeping.
 func (e *engine) init() error {
 	b := e.o.Built
+	// Allocate spans first: a Result carries graph-length Spans even
+	// when staging below dies of OOM before anything runs.
+	e.spans = make([]Span, e.g.Len())
 	reserved := make(map[hw.DeviceID]bool)
 	for _, d := range e.o.Mapping {
 		if reserved[d] {
@@ -255,7 +285,13 @@ func (e *engine) init() error {
 			if e.o.InitiallySwapped[id] {
 				buf, err := e.pinned.Get(tn.Size)
 				if err != nil {
-					return fmt.Errorf("exec: host memory exhausted staging %s: %v", tn.Name, err)
+					// Host capacity failures report as OOM like GPU
+					// ones, so planner refinement and degraded-topology
+					// replays see them (host-pressure faults squeeze
+					// this path).
+					e.oom = err.(*memsim.OOMError)
+					e.oomResidents = e.residentsOn(e.oom.Device)
+					return nil
 				}
 				e.pinnedBuf[id] = buf
 				e.state[id] = resSwappedHost
@@ -328,6 +364,10 @@ func (e *engine) init() error {
 			}
 		}
 	}
+	e.opsLeft = e.g.Len()
+	if err := e.initResilience(); err != nil {
+		return err
+	}
 	// Freeing points: after a tensor's last-consuming op, or after its
 	// producer if nothing consumes it. Persistent tensors never free.
 	live := e.g.Analyze(order)
@@ -347,7 +387,6 @@ func (e *engine) init() error {
 			e.lastFree[at] = append(e.lastFree[at], id)
 		}
 	}
-	e.spans = make([]Span, e.g.Len())
 	return nil
 }
 
@@ -575,6 +614,10 @@ func (e *engine) releaseSubject(t tensor.ID, gpu hw.DeviceID, to residency) {
 // complete finishes op: frees dead tensors and unblocks successors.
 func (e *engine) complete(id graph.OpID, start, end sim.Time) {
 	e.spans[id] = Span{Start: start, End: end}
+	e.opsLeft--
+	if end > e.lastEnd {
+		e.lastEnd = end
+	}
 	for _, t := range e.lastFree[id] {
 		if e.state[t] == resOnGPU {
 			e.gpus[e.gpuOf(t)].Release(e.g.Tensors.Get(t).Size)
@@ -604,6 +647,14 @@ func (e *engine) complete(id graph.OpID, start, end sim.Time) {
 			}
 		}
 	}
+	if c := e.ckpt; c != nil {
+		if q, ok := c.optMini[id]; ok {
+			c.optLeft[q]--
+			if c.optLeft[q] == 0 {
+				e.boundary(q)
+			}
+		}
+	}
 }
 
 // syncDone releases one (stage, minibatch)'s optimizer-step ops once
@@ -624,6 +675,19 @@ func (e *engine) result() *Result {
 		OOMResidents: e.oomResidents,
 		Spans:        e.spans,
 		UsefulFLOPs:  e.o.Built.UsefulFLOPs,
+		Failure:      e.failure,
+	}
+	if e.failure == nil && e.o.FailAt > 0 {
+		// The fault event fired after the graph drained (or never will
+		// have a chance to): the clock may sit at FailAt, but the run
+		// really ended at the last op completion.
+		r.Duration = e.lastEnd
+	}
+	if c := e.ckpt; c != nil {
+		r.Checkpoints = c.records
+		for _, rec := range c.records {
+			r.CheckpointBytes += rec.Bytes
+		}
 	}
 	for _, d := range e.gpus {
 		r.GPUs = append(r.GPUs, d.Stats())
@@ -635,7 +699,7 @@ func (e *engine) result() *Result {
 	for _, q := range e.compute {
 		r.ComputeBusy = append(r.ComputeBusy, q.BusyTime())
 	}
-	if e.oom == nil && r.Duration > 0 {
+	if e.oom == nil && e.failure == nil && r.Duration > 0 {
 		secs := r.Duration.Secondsf()
 		r.TFLOPS = r.UsefulFLOPs.TFLOPs() / secs
 		r.SamplesPerSec = float64(e.o.Built.SamplesProcessed()) / secs

@@ -34,16 +34,35 @@ func register(e Experiment) { registry = append(registry, e) }
 // share, so e.g. fig7 and table4 reuse each other's Bert plans.
 var (
 	parallelism  int
-	sharedRunner = mpress.NewRunner(mpress.RunnerOptions{})
+	observer     func(mpress.JobResult)
+	sharedRunner = newSharedRunner()
 )
+
+func newSharedRunner() *mpress.Runner {
+	return mpress.NewRunner(mpress.RunnerOptions{
+		Workers: parallelism,
+		OnJobDone: func(jr mpress.JobResult) {
+			if observer != nil {
+				observer(jr)
+			}
+		},
+	})
+}
 
 // SetParallelism rebuilds the shared runner with n workers (n <= 0
 // restores the GOMAXPROCS default). Call it before running
 // experiments, not concurrently with them.
 func SetParallelism(n int) {
 	parallelism = n
-	sharedRunner = mpress.NewRunner(mpress.RunnerOptions{Workers: n})
+	sharedRunner = newSharedRunner()
 }
+
+// SetObserver registers fn to be called with every job the shared
+// runner completes (from worker goroutines — fn must be safe for
+// concurrent use). mpress-bench uses it to emit per-job perf records.
+// Call it before running experiments, not concurrently with them; nil
+// unregisters.
+func SetObserver(fn func(mpress.JobResult)) { observer = fn }
 
 // Stats exposes the shared runner's counters (jobs, plan-cache
 // hits/misses) for the CLI's summary line.

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"mpress"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "resilience",
+		Title: "Resilience: goodput under seeded faults, MTBF x checkpoint-interval sweep (Young-Daly vs fixed)",
+		Run:   Resilience,
+	})
+}
+
+// resilienceSeed drives every seeded schedule in this experiment. The
+// output is a determinism artifact: same seed, byte-identical CSV.
+const resilienceSeed = 2023 // HPCA'23
+
+// Resilience sweeps the fault model (MTBF) against the checkpoint
+// policy (Young-Daly optimum plus bracketing fixed intervals) for the
+// paper's two headline workloads, reporting goodput — samples per
+// second over the full resilient wall clock, rollbacks, re-planning
+// and restores included — against the fault-free throughput. The grid
+// is derived from each workload's own ideal iteration time, so the
+// sweep stays meaningful across models of very different sizes.
+//
+// Unlike the table experiments this one emits CSV: the rows are a
+// machine-readable goodput trajectory, and their byte-identity across
+// runs with the same seed is asserted by TestResilienceCSVDeterminism.
+func Resilience(w io.Writer) error {
+	type workload struct {
+		label string
+		cfg   mpress.Config
+	}
+	workloads := []workload{
+		{"Bert-1.67B/PipeDream", mpress.Config{
+			Topology:       mpress.DGX1(),
+			Model:          mpress.MustBert("1.67B"),
+			Schedule:       mpress.PipeDream,
+			System:         mpress.SystemMPress,
+			MicrobatchSize: 12,
+			Minibatches:    8,
+		}},
+		{"GPT-5.3B/DAPPLE", mpress.Config{
+			Topology:       mpress.DGX2FastNVMe(),
+			Model:          mpress.MustGPT("5.3B"),
+			Schedule:       mpress.DAPPLE,
+			System:         mpress.SystemMPress,
+			MicrobatchSize: 2,
+			Minibatches:    8,
+		}},
+	}
+
+	// Fault-free baselines first: the grid scales with each workload's
+	// ideal duration, and goodput is quoted against its throughput.
+	var idealCfgs []mpress.Config
+	for _, wl := range workloads {
+		idealCfgs = append(idealCfgs, wl.cfg)
+	}
+	ideals := trainAll(idealCfgs)
+
+	type cell struct {
+		wlIdx    int
+		mtbf     mpress.Duration
+		interval mpress.Duration // 0 = Young-Daly
+	}
+	var cells []cell
+	var cfgs []mpress.Config
+	var deadRows [][]string // workloads whose fault-free baseline failed
+	for i, wl := range workloads {
+		if ideals[i].Err != nil || ideals[i].Report.Failed() {
+			status := "error"
+			if ideals[i].Err == nil {
+				status = "oom"
+			}
+			deadRows = append(deadRows, []string{
+				wl.label, "-", "-", status, "", "", "", "", "", "", "", ""})
+			continue
+		}
+		dur := ideals[i].Report.Duration
+		for _, mtbf := range []mpress.Duration{dur, dur / 2} {
+			// 0 resolves to the Young-Daly optimum; the fixed
+			// intervals bracket it from both sides.
+			for _, iv := range []mpress.Duration{0, dur / 4, dur / 64} {
+				cfg := wl.cfg
+				cfg.Faults = &mpress.Faults{Seed: resilienceSeed, MTBF: mtbf}
+				cfg.Checkpoint = &mpress.Checkpoint{Interval: iv}
+				cells = append(cells, cell{i, mtbf, iv})
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	results := trainAll(cfgs)
+
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"model", "mtbf_s", "ckpt_interval", "status",
+		"ideal_samples_per_sec", "goodput", "efficiency",
+		"failures", "checkpoints", "ckpt_gib", "lost_work_s", "recovery_s",
+	}); err != nil {
+		return err
+	}
+	for _, row := range deadRows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	for i, c := range cells {
+		wl := workloads[c.wlIdx]
+		interval := "young-daly"
+		if c.interval > 0 {
+			interval = fmt.Sprintf("%.3fs", c.interval.Secondsf())
+		}
+		row := []string{
+			wl.label,
+			fmt.Sprintf("%.3f", c.mtbf.Secondsf()),
+			interval,
+		}
+		res := results[i]
+		switch {
+		case res.Err != nil:
+			row = append(row, "error", "", "", "", "", "", "", "", "")
+		case res.Report.Failed():
+			row = append(row, "oom", "", "", "", "", "", "", "", "")
+		default:
+			rep := res.Report
+			row = append(row, "ok",
+				fmt.Sprintf("%.2f", rep.SamplesPerSec),
+				fmt.Sprintf("%.2f", rep.Goodput),
+				fmt.Sprintf("%.1f%%", 100*rep.Goodput/rep.SamplesPerSec),
+				strconv.Itoa(rep.Failures),
+				strconv.Itoa(rep.Checkpoints),
+				fmt.Sprintf("%.2f", rep.CheckpointBytes.GiBf()),
+				fmt.Sprintf("%.3f", rep.LostWork.Secondsf()),
+				fmt.Sprintf("%.3f", rep.RecoveryTime.Secondsf()),
+			)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -43,6 +43,13 @@ const (
 	// by the data-parallel baselines.
 	AllGather
 	ReduceScatter
+	// Checkpoint, Failure and Recovery never appear in built graphs;
+	// they label the resilience spans (snapshot transfers, injected
+	// faults, rollback + restore) that internal/exec and
+	// internal/runner add to traces.
+	Checkpoint
+	Failure
+	Recovery
 )
 
 var opKindNames = [...]string{
@@ -56,6 +63,9 @@ var opKindNames = [...]string{
 	Recompute:     "recompute",
 	AllGather:     "allgather",
 	ReduceScatter: "reducescatter",
+	Checkpoint:    "checkpoint",
+	Failure:       "failure",
+	Recovery:      "recovery",
 }
 
 // String returns the lowercase kind name.

@@ -1,0 +1,100 @@
+package hw
+
+import (
+	"fmt"
+
+	"mpress/internal/units"
+)
+
+// This file holds topology degradation constructors: pure functions
+// that derive a new, smaller Topology from a healthy one after a
+// hardware fault. internal/chaos decides *when* faults happen; these
+// decide what the surviving machine looks like. All constructors
+// deep-copy — the input topology is never mutated — so a resilient run
+// can keep the healthy topology around for its ideal baseline.
+
+// Clone returns a deep copy of the topology (the lane matrix is the
+// only reference-typed field).
+func (t *Topology) Clone() *Topology {
+	c := *t
+	if t.NVLinkLanes != nil {
+		c.NVLinkLanes = make([][]int, len(t.NVLinkLanes))
+		for i := range t.NVLinkLanes {
+			c.NVLinkLanes[i] = append([]int(nil), t.NVLinkLanes[i]...)
+		}
+	}
+	return &c
+}
+
+// WithoutGPU returns the topology with GPU g removed: the survivors
+// are renumbered densely (gpu k becomes gpu k-1 for k > g) and, for
+// direct topologies, the lane matrix loses g's row and column — any
+// lanes that terminated at g are simply dead wires. Host memory, NVMe
+// and per-GPU link rates are unchanged.
+func (t *Topology) WithoutGPU(g DeviceID) (*Topology, error) {
+	if !g.IsGPU() || int(g) >= t.NumGPUs {
+		return nil, fmt.Errorf("hw: topology %q has no %v to remove", t.Name, g)
+	}
+	if t.NumGPUs <= 1 {
+		return nil, fmt.Errorf("hw: cannot remove the last GPU of %q", t.Name)
+	}
+	c := t.Clone()
+	c.Name = fmt.Sprintf("%s-minus-%v", t.Name, g)
+	c.NumGPUs--
+	if !t.Switched {
+		lanes := make([][]int, 0, c.NumGPUs)
+		for i := 0; i < t.NumGPUs; i++ {
+			if i == int(g) {
+				continue
+			}
+			row := make([]int, 0, c.NumGPUs)
+			for j := 0; j < t.NumGPUs; j++ {
+				if j == int(g) {
+					continue
+				}
+				row = append(row, t.NVLinkLanes[i][j])
+			}
+			lanes = append(lanes, row)
+		}
+		c.NVLinkLanes = lanes
+	}
+	return c, c.Validate()
+}
+
+// WithoutNVLink returns the topology with the NVLink path between a
+// and b downed. On a direct topology the pair's lanes are zeroed (both
+// directions); the GPUs stay reachable through other peers or PCIe.
+// On a switched topology a single pair cannot fail in isolation — the
+// crossbar is the path — so the fault is modeled as losing one switch
+// plane: every GPU's lane budget drops by one.
+func (t *Topology) WithoutNVLink(a, b DeviceID) (*Topology, error) {
+	if t.LanesBetween(a, b) == 0 {
+		return nil, fmt.Errorf("hw: topology %q has no NVLink between %v and %v", t.Name, a, b)
+	}
+	c := t.Clone()
+	c.Name = fmt.Sprintf("%s-nolink-%v-%v", t.Name, a, b)
+	if t.Switched {
+		c.LanesPerGPU--
+		if c.LanesPerGPU <= 0 {
+			return nil, fmt.Errorf("hw: topology %q has no switch planes left", t.Name)
+		}
+		return c, c.Validate()
+	}
+	c.NVLinkLanes[a][b] = 0
+	c.NVLinkLanes[b][a] = 0
+	return c, c.Validate()
+}
+
+// WithHostMemory returns the topology with the host swap capacity
+// clamped to mem, modeling host-memory pressure (a co-located process
+// claiming DRAM). mem must be positive; growing memory is allowed for
+// symmetry but the name still records the change.
+func (t *Topology) WithHostMemory(mem units.Bytes) (*Topology, error) {
+	if mem <= 0 {
+		return nil, fmt.Errorf("hw: topology %q cannot run with %v host memory", t.Name, mem)
+	}
+	c := t.Clone()
+	c.Name = fmt.Sprintf("%s-host-%v", t.Name, mem)
+	c.HostMemory = mem
+	return c, c.Validate()
+}

@@ -1,0 +1,102 @@
+package hw
+
+import (
+	"reflect"
+	"testing"
+
+	"mpress/internal/units"
+)
+
+func TestWithoutGPU(t *testing.T) {
+	orig := DGX1()
+	snapshot := orig.Clone()
+
+	deg, err := orig.WithoutGPU(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.NumGPUs != 7 {
+		t.Fatalf("NumGPUs = %d, want 7", deg.NumGPUs)
+	}
+	if err := deg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Renumbering: old gpu4 (row {2,0,0,0,0,1,1,2}) becomes gpu3 and
+	// loses its column-3 entry (0 lanes to old gpu3).
+	want := []int{2, 0, 0, 0, 1, 1, 2}
+	if !reflect.DeepEqual(deg.NVLinkLanes[3], want) {
+		t.Errorf("row for renumbered gpu4 = %v, want %v", deg.NVLinkLanes[3], want)
+	}
+	// The source topology must be untouched.
+	if !reflect.DeepEqual(orig, snapshot) {
+		t.Error("WithoutGPU mutated its receiver")
+	}
+
+	if _, err := orig.WithoutGPU(8); err == nil {
+		t.Error("removing a nonexistent GPU must fail")
+	}
+	if _, err := orig.WithoutGPU(Host); err == nil {
+		t.Error("removing the host must fail")
+	}
+}
+
+func TestWithoutGPUSwitched(t *testing.T) {
+	deg, err := DGX2().WithoutGPU(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.NumGPUs != 7 || deg.LanesPerGPU != 12 {
+		t.Fatalf("got %d GPUs / %d lanes, want 7 / 12", deg.NumGPUs, deg.LanesPerGPU)
+	}
+}
+
+func TestWithoutNVLink(t *testing.T) {
+	orig := DGX1()
+	deg, err := orig.WithoutNVLink(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.LanesBetween(0, 3) != 0 || deg.LanesBetween(3, 0) != 0 {
+		t.Error("downed pair still has lanes")
+	}
+	if deg.LanesBetween(0, 4) != 2 {
+		t.Error("unrelated pair lost lanes")
+	}
+	if orig.LanesBetween(0, 3) != 2 {
+		t.Error("WithoutNVLink mutated its receiver")
+	}
+	// gpu0 and gpu3 were never wired on the cube mesh to gpu5..7 etc.;
+	// a dead pair must not be removable twice.
+	if _, err := deg.WithoutNVLink(0, 3); err == nil {
+		t.Error("downing a dead link must fail")
+	}
+	if _, err := orig.WithoutNVLink(0, 5); err == nil {
+		t.Error("downing a never-wired pair must fail")
+	}
+}
+
+func TestWithoutNVLinkSwitched(t *testing.T) {
+	deg, err := DGX2().WithoutNVLink(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.LanesPerGPU != 11 {
+		t.Fatalf("LanesPerGPU = %d, want 11", deg.LanesPerGPU)
+	}
+	if deg.LanesBetween(2, 5) != 11 || deg.LanesBetween(0, 1) != 11 {
+		t.Error("switched degradation must shave one plane for every pair")
+	}
+}
+
+func TestWithHostMemory(t *testing.T) {
+	deg, err := DGX1().WithHostMemory(64 * units.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.HostMemory != 64*units.GiB {
+		t.Errorf("HostMemory = %v", deg.HostMemory)
+	}
+	if _, err := DGX1().WithHostMemory(0); err == nil {
+		t.Error("zero host memory must fail")
+	}
+}

@@ -1,0 +1,86 @@
+package plan
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mpress/internal/fabric"
+	"mpress/internal/hw"
+	"mpress/internal/tensor"
+	"mpress/internal/units"
+)
+
+// fuzzSeedPlans builds representative plans for the corpus: empty,
+// mapping-only, and a fully-populated plan exercising every field the
+// file format carries.
+func fuzzSeedPlans() []*Plan {
+	full := &Plan{
+		Mapping: []hw.DeviceID{0, 2, 4, 6},
+		Act: map[tensor.ID]Mechanism{
+			1: MechRecompute, 2: MechHostSwap, 3: MechD2D,
+		},
+		Parts: map[tensor.ID][]fabric.Part{
+			3: {{Peer: 1, Bytes: 96 * units.MiB}, {Peer: 5, Bytes: 32 * units.MiB}},
+		},
+		HostPersist: map[tensor.ID]bool{7: true},
+		SavedByMech: map[Mechanism]units.Bytes{
+			MechRecompute: units.GiB,
+			MechD2D:       512 * units.MiB,
+		},
+		StageRange: map[Mechanism][2]int{
+			MechRecompute: {0, 3},
+			MechHostSwap:  {-1, -1},
+		},
+		Emulations: 17,
+		Baseline:   3 * units.Second,
+		Planned:    2 * units.Second,
+	}
+	return []*Plan{
+		{},
+		{Mapping: []hw.DeviceID{3, 1, 0}},
+		full,
+	}
+}
+
+// FuzzPlanRoundTrip checks Load never panics on arbitrary bytes, and
+// that any input Load accepts round-trips: Save of the loaded plan
+// re-Loads to a deeply-equal plan with the same job label. The plan
+// file is a long-lived artifact (planned offline, trained later), so
+// drift between what Save writes and what Load reconstructs silently
+// corrupts training runs.
+func FuzzPlanRoundTrip(f *testing.F) {
+	for _, p := range fuzzSeedPlans() {
+		var buf bytes.Buffer
+		if err := p.Save(&buf, "fuzz/seed"); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":2,"plan":{}}`))
+	f.Add([]byte(`{"version":1,"plan":{"Act":{"9":1},"Parts":{"9":[{"Peer":-1,"Bytes":5}]}}}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p1, job1, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := p1.Save(&buf, job1); err != nil {
+			t.Fatalf("Save of loaded plan failed: %v", err)
+		}
+		p2, job2, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("re-Load of saved plan failed: %v\nfile:\n%s", err, buf.String())
+		}
+		if job1 != job2 {
+			t.Fatalf("job label drifted: %q -> %q", job1, job2)
+		}
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("plan drifted through Save/Load:\nfirst:  %#v\nsecond: %#v", p1, p2)
+		}
+	})
+}

@@ -26,6 +26,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 
 	"mpress/internal/compaction"
 	"mpress/internal/exec"
@@ -318,6 +319,13 @@ func (p *planner) assignAndRefine() (units.Duration, error) {
 			}
 		}
 		if stage < 0 {
+			if !strings.HasPrefix(g, "gpu") {
+				// A storage tier (host, NVMe) is exhausted: there is
+				// no GPU target to raise, so refinement cannot help.
+				// Let the caller see the OOM through a final
+				// Apply/Run, like an unsatisfiable job.
+				return 0, nil
+			}
 			return 0, fmt.Errorf("plan: OOM on unmapped device %s", g)
 		}
 		p.targets[stage] += res.OOM.Requested + 256*units.MiB

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"strings"
 
+	"mpress/internal/chaos"
+	"mpress/internal/ckpt"
 	"mpress/internal/cluster"
 	"mpress/internal/hw"
 	"mpress/internal/memsim"
@@ -126,7 +128,18 @@ type Config struct {
 	// AllReduceBuckets is the gradient bucket count per all-reduce
 	// (defaults to 4 on multi-node jobs; ignored otherwise).
 	AllReduceBuckets int
+	// Faults, when non-nil, injects a deterministic hardware fault
+	// schedule into the run; Checkpoint, when non-nil, enables periodic
+	// snapshots of weights and optimizer state (interval 0 resolves to
+	// the Young–Daly optimum from Faults.MTBF). Either turns the job
+	// into a resilient run: the Report gains goodput, lost work and
+	// recovery accounting.
+	Faults     *chaos.Config
+	Checkpoint *ckpt.Policy
 }
+
+// Resilient reports whether the job runs the fault/checkpoint replay.
+func (c Config) Resilient() bool { return c.Faults != nil || c.Checkpoint != nil }
 
 // Replicas returns the data-parallel replica count: the cluster's node
 // count, or 1 for single-server jobs.
@@ -189,6 +202,24 @@ func (c Config) WithDefaults() (Config, error) {
 		}
 		c.Precision = &p
 	}
+	if c.Resilient() {
+		if c.System.IsZeRO() {
+			return c, fmt.Errorf("mpress: %v has no event clock; fault injection requires a pipeline system", c.System)
+		}
+		if c.Faults != nil {
+			if err := c.Faults.Validate(c.Topology, c.Replicas()); err != nil {
+				return c, err
+			}
+		}
+		if c.Checkpoint != nil {
+			if err := c.Checkpoint.Validate(); err != nil {
+				return c, err
+			}
+			if c.Checkpoint.Interval == 0 && (c.Faults == nil || c.Faults.MTBF <= 0) {
+				return c, fmt.Errorf("mpress: Checkpoint.Interval 0 means Young–Daly, which needs Faults.MTBF")
+			}
+		}
+	}
 	return c, nil
 }
 
@@ -229,6 +260,30 @@ type Report struct {
 	// its collective count (zero for single-server jobs).
 	NICBytes   units.Bytes
 	AllReduces int64
+	// Resilience accounting, populated only for resilient runs
+	// (Config.Resilient()). Duration above becomes the total resilient
+	// wall clock; SamplesPerSec/TFLOPS stay the ideal fault-free rates,
+	// so Goodput < SamplesPerSec measures the resilience tax.
+	//
+	// Goodput is samples per second over the full resilient wall clock
+	// (checkpoint stalls, lost work and recovery included).
+	Goodput float64
+	// IdealDuration is the fault-free run's wall clock.
+	IdealDuration units.Duration
+	// Failures counts injected faults that actually hit the run;
+	// Recoveries details each one.
+	Failures   int
+	Recoveries []Recovery
+	// Checkpoints is the number of snapshots taken, CheckpointBytes
+	// their cumulative payload, and CheckpointTime the cumulative
+	// pipeline stall they caused.
+	Checkpoints     int
+	CheckpointBytes units.Bytes
+	CheckpointTime  units.Duration
+	// LostWork is the simulated progress discarded across all
+	// rollbacks; RecoveryTime the cumulative detection + restore cost.
+	LostWork     units.Duration
+	RecoveryTime units.Duration
 }
 
 // Failed reports whether the job hit OOM.
@@ -309,6 +364,11 @@ func canonical(c Config, withMinibatches, withCluster bool) string {
 		c.Schedule, c.Strategy, c.Stages, c.MicrobatchSize, c.Microbatches)
 	if withMinibatches {
 		fmt.Fprintf(&b, "mini=%d;", c.Minibatches)
+		// Resilience shapes the outcome but not the plan: faults and
+		// checkpoints join the fingerprint only, like Minibatches.
+		if c.Resilient() {
+			fmt.Fprintf(&b, "%s;%s;", c.Faults.Canonical(), c.Checkpoint.Canonical())
+		}
 	}
 	fmt.Fprintf(&b, "sys=%d;nomap=%v;nostripe=%v", int(c.System), c.DisableMappingSearch, c.DisableStriping)
 	if withCluster && c.Replicas() > 1 {

@@ -1,0 +1,352 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+
+	"mpress/internal/chaos"
+	"mpress/internal/ckpt"
+	"mpress/internal/cluster"
+	"mpress/internal/exec"
+	"mpress/internal/graph"
+	"mpress/internal/hw"
+	"mpress/internal/memsim"
+	"mpress/internal/trace"
+	"mpress/internal/units"
+)
+
+// This file orchestrates resilient runs: the Execute stage's fault-free
+// result is the ideal baseline, then stageResilience replays the job
+// under the fault schedule — running execution segments with periodic
+// checkpoints, and on each injected failure rolling back to the last
+// durable checkpoint, degrading the topology, re-running the
+// partition/plan pipeline on the survivors and resuming. The outcome
+// is a goodput model: total wall clock including checkpoint stalls,
+// lost work and recovery latency.
+
+// Recovery logs one fault's aftermath.
+type Recovery struct {
+	// Fault is the injected fault (its At is resilient wall-clock).
+	Fault chaos.Fault `json:"fault"`
+	// LostWork is the simulated progress discarded: time since the
+	// last durable checkpoint of the failing segment.
+	LostWork units.Duration `json:"lost_work"`
+	// RecoveryTime is detection/restart delay plus the checkpoint
+	// restore transfer on the degraded topology.
+	RecoveryTime units.Duration `json:"recovery_time"`
+	// ResumedMinibatch is the first minibatch index re-run after the
+	// rollback (counting from the start of the job).
+	ResumedMinibatch int `json:"resumed_minibatch"`
+	// Topology names the (possibly degraded) topology the run resumed
+	// on.
+	Topology string `json:"topology"`
+}
+
+// resilSummary is stageResilience's hand-off to stageReport.
+type resilSummary struct {
+	wall         units.Duration // total resilient wall clock
+	checkpoints  int
+	ckptBytes    units.Bytes
+	ckptTime     units.Duration // cumulative snapshot drain time
+	lostWork     units.Duration
+	recoveryTime units.Duration
+	recoveries   []Recovery
+	oom          *memsim.OOMError // degraded-topology OOM, if the run died
+}
+
+// aliveSet tracks which of the original GPUs survive, translating
+// healthy-topology fault targets into the renumbered degraded
+// topology.
+type aliveSet struct {
+	alive []bool
+	links map[[2]hw.DeviceID]bool // downed NVLink pairs (original numbering)
+}
+
+func newAliveSet(n int) *aliveSet {
+	a := &aliveSet{alive: make([]bool, n), links: map[[2]hw.DeviceID]bool{}}
+	for i := range a.alive {
+		a.alive[i] = true
+	}
+	return a
+}
+
+// current returns the degraded-topology index of original GPU g, or
+// false if it is dead.
+func (a *aliveSet) current(g hw.DeviceID) (hw.DeviceID, bool) {
+	if !g.IsGPU() || int(g) >= len(a.alive) || !a.alive[g] {
+		return 0, false
+	}
+	idx := 0
+	for i := 0; i < int(g); i++ {
+		if a.alive[i] {
+			idx++
+		}
+	}
+	return hw.DeviceID(idx), true
+}
+
+func pairKey(a, b hw.DeviceID) [2]hw.DeviceID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]hw.DeviceID{a, b}
+}
+
+// relevant reports whether the fault still targets live hardware —
+// without mutating the alive set (applyFault does that, after the
+// failing segment has been charged).
+func (a *aliveSet) relevant(topo *hw.Topology, f chaos.Fault) bool {
+	switch f.Kind {
+	case chaos.GPUFail:
+		_, ok := a.current(f.GPU)
+		return ok
+	case chaos.NVLinkFail:
+		if a.links[pairKey(f.GPU, f.Peer)] {
+			return false
+		}
+		ca, okA := a.current(f.GPU)
+		cb, okB := a.current(f.Peer)
+		return okA && okB && topo.LanesBetween(ca, cb) > 0
+	default: // NICFlap, HostPressure always bite
+		return true
+	}
+}
+
+// applyFault degrades topo for the fault, or reports skip=true when
+// the target is already gone (dead GPU, downed link). NIC flaps leave
+// the topology intact — they cost a rollback, nothing more.
+func (a *aliveSet) applyFault(topo *hw.Topology, f chaos.Fault) (newTopo *hw.Topology, skip bool, err error) {
+	switch f.Kind {
+	case chaos.GPUFail:
+		cur, ok := a.current(f.GPU)
+		if !ok {
+			return topo, true, nil
+		}
+		if topo.NumGPUs <= 1 {
+			return nil, false, fmt.Errorf("mpress: fault %v leaves no GPUs", f)
+		}
+		deg, err := topo.WithoutGPU(cur)
+		if err != nil {
+			return nil, false, err
+		}
+		a.alive[f.GPU] = false
+		return deg, false, nil
+	case chaos.NVLinkFail:
+		if a.links[pairKey(f.GPU, f.Peer)] {
+			return topo, true, nil
+		}
+		ca, okA := a.current(f.GPU)
+		cb, okB := a.current(f.Peer)
+		if !okA || !okB || topo.LanesBetween(ca, cb) == 0 {
+			return topo, true, nil
+		}
+		deg, err := topo.WithoutNVLink(ca, cb)
+		if err != nil {
+			return nil, false, err
+		}
+		a.links[pairKey(f.GPU, f.Peer)] = true
+		return deg, false, nil
+	case chaos.NICFlap:
+		return topo, false, nil
+	case chaos.HostPressure:
+		mem := topo.HostMemory - f.HostLoss
+		if min := units.GiB; mem < min {
+			mem = min // a starved host still has something
+		}
+		deg, err := topo.WithHostMemory(mem)
+		if err != nil {
+			return nil, false, err
+		}
+		return deg, false, nil
+	default:
+		return nil, false, fmt.Errorf("mpress: unknown fault kind %v", f.Kind)
+	}
+}
+
+// segment holds the executable artifacts of one run attempt.
+type segment struct {
+	topo  *hw.Topology
+	state *State // Part/Built/Plan/Mapping/ExecOpts for the attempt
+}
+
+// replan re-runs the partition → apply pipeline for the remaining
+// minibatches on a (possibly degraded) topology, reusing the runner's
+// plan cache across repeated failures with identical degradation.
+func replan(ctx context.Context, base Config, topo *hw.Topology, remaining int, cache *planCache) (*segment, error) {
+	sub := base
+	sub.Topology = topo
+	sub.Faults, sub.Checkpoint = nil, nil
+	sub.Minibatches = remaining
+	// A one-stage-per-GPU pipeline re-partitions across the survivors;
+	// explicitly virtual (plain-system) stage counts stay as configured
+	// and wrap. The batch shape is the job's, not the machine's, so
+	// MicrobatchSize/Microbatches are untouched.
+	if sub.Stages > topo.NumGPUs &&
+		(sub.System != SystemPlain || sub.Stages == base.Topology.NumGPUs) {
+		sub.Stages = topo.NumGPUs
+	}
+	if sub.Cluster != nil && sub.Cluster.Server != topo {
+		clus, err := cluster.New(sub.Cluster.Nodes, topo, sub.Cluster.Net)
+		if err != nil {
+			return nil, fmt.Errorf("mpress: recomposing degraded cluster: %w", err)
+		}
+		sub.Cluster = clus
+	}
+	j, err := NewJob(sub)
+	if err != nil {
+		return nil, fmt.Errorf("mpress: re-planning on %q: %w", topo.Name, err)
+	}
+	st := &State{Job: j, cache: cache}
+	for _, stage := range []Stage{
+		{"partition", stagePartition},
+		{"build", stageBuild},
+		{"plan", stagePlan},
+		{"apply", stageApply},
+	} {
+		if err := stage.Run(ctx, st); err != nil {
+			return nil, fmt.Errorf("mpress: re-planning on %q: %w", topo.Name, err)
+		}
+	}
+	return &segment{topo: topo, state: st}, nil
+}
+
+// stageResilience runs the checkpointed, fault-injected replay. It
+// requires the Execute stage's fault-free result (the ideal baseline)
+// and leaves the final — possibly re-planned — Plan/Mapping on the
+// State, plus the merged wall-clock Timeline and the resilSummary for
+// stageReport.
+func stageResilience(ctx context.Context, st *State) error {
+	c := st.Job.Config
+	if st.Exec.OOM != nil {
+		return nil // the ideal run already died; nothing to replay
+	}
+
+	faults := c.Faults.Schedule(c.Topology, c.Replicas())
+	var spec *exec.CheckpointSpec
+	if c.Checkpoint != nil {
+		var mtbf units.Duration
+		if c.Faults != nil {
+			mtbf = c.Faults.MTBF
+		}
+		every := c.Checkpoint.Resolve(ckpt.Cost(c.Topology, ckpt.StageBytes(st.Built)), mtbf)
+		if every <= 0 {
+			return fmt.Errorf("mpress: checkpoint interval resolved to %v; set Checkpoint.Interval or Faults.MTBF", every)
+		}
+		spec = &exec.CheckpointSpec{Every: every}
+	}
+
+	sum := &resilSummary{}
+	timeline := &trace.Timeline{Stages: st.Built.NumStages()}
+	alive := newAliveSet(c.Topology.NumGPUs)
+	seg := &segment{topo: c.Topology, state: st}
+	remaining := c.Minibatches
+	var wall units.Duration
+	fi := 0
+
+	for {
+		// Next fault that still targets live hardware — dead-target
+		// faults are skipped for free.
+		var fault *chaos.Fault
+		for fi < len(faults) {
+			f := faults[fi]
+			if alive.relevant(seg.topo, f) {
+				fault = &f
+				break
+			}
+			fi++
+		}
+
+		opts := *seg.state.ExecOpts
+		opts.Ctx = ctx
+		opts.Checkpoint = spec
+		if fault != nil {
+			rel := fault.At - wall
+			if rel <= 0 {
+				rel = units.Microsecond // fault queued up during recovery
+			}
+			opts.FailAt = rel
+		}
+		res, err := exec.Run(opts)
+		if err != nil {
+			return err
+		}
+		segTL := trace.Collect(seg.state.Built, res)
+		timeline.Append(segTL, wall)
+		sum.checkpoints += len(res.Checkpoints)
+		sum.ckptBytes += res.CheckpointBytes
+		for _, rec := range res.Checkpoints {
+			sum.ckptTime += units.Duration(rec.End - rec.Start)
+		}
+		if res.OOM != nil {
+			// The degraded machine cannot hold the job (e.g. host
+			// pressure starved the swap space): the run dies here.
+			sum.oom = res.OOM
+			sum.wall = wall + res.Duration
+			break
+		}
+		if res.Failure == nil {
+			sum.wall = wall + res.Duration
+			break
+		}
+
+		// The segment failed. Roll back to its last durable checkpoint.
+		durable := 0
+		lost := units.Duration(res.Failure.At)
+		if n := len(res.Checkpoints); n > 0 {
+			last := res.Checkpoints[n-1]
+			durable = last.Minibatch + 1
+			lost = units.Duration(res.Failure.At - last.End)
+		}
+		remaining -= durable
+		wall += units.Duration(res.Failure.At)
+		sum.lostWork += lost
+		timeline.Mark(graph.Failure, fault.String(), wall, wall)
+
+		// Degrade the topology and re-plan on the survivors.
+		newTopo, skip, err := alive.applyFault(seg.topo, *fault)
+		if err != nil {
+			return err
+		}
+		fi++
+		if !skip && newTopo != seg.topo {
+			if seg, err = replan(ctx, c, newTopo, remaining, st.cache); err != nil {
+				return err
+			}
+		} else if remaining != seg.state.Built.Cfg.Minibatches {
+			// Same topology (NIC flap), fewer minibatches left.
+			if seg, err = replan(ctx, c, seg.topo, remaining, st.cache); err != nil {
+				return err
+			}
+		}
+
+		// Pay detection plus the checkpoint restore onto the new
+		// topology (nothing to restore before the first checkpoint —
+		// the job restarts from its initial state).
+		recovery := c.Faults.Detection()
+		if c.Minibatches-remaining > 0 {
+			recovery += ckpt.RestoreCost(seg.topo, ckpt.StageBytes(seg.state.Built))
+		}
+		sum.recoveryTime += recovery
+		timeline.Mark(graph.Recovery, "recovery", wall, wall+recovery)
+		wall += recovery
+		sum.recoveries = append(sum.recoveries, Recovery{
+			Fault:            *fault,
+			LostWork:         lost,
+			RecoveryTime:     recovery,
+			ResumedMinibatch: c.Minibatches - remaining,
+			Topology:         seg.topo.Name,
+		})
+	}
+
+	timeline.Span = sum.wall
+	st.Resil = sum
+	st.Timeline = timeline
+	// Report the plan the job ended on: after a degradation this is the
+	// re-planned one whose striping excludes the dead hardware.
+	if seg.state != st {
+		st.Plan = seg.state.Plan
+		st.Mapping = seg.state.Mapping
+		st.Recovered = seg.state.Built
+	}
+	return nil
+}

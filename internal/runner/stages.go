@@ -10,6 +10,7 @@ import (
 	"mpress/internal/pipeline"
 	"mpress/internal/plan"
 	"mpress/internal/sim"
+	"mpress/internal/trace"
 	"mpress/internal/zero"
 )
 
@@ -47,6 +48,14 @@ type State struct {
 	// attached to the executor's clock by the Apply stage (nil for
 	// single-server jobs).
 	Net *cluster.Net
+	// Timeline is the merged wall-clock trace of a resilient run
+	// (after Resilience; nil otherwise), and Resil its accounting.
+	Timeline *trace.Timeline
+	Resil    *resilSummary
+	// Recovered is the lowered job of the final recovered segment when
+	// a failure forced a re-plan (nil otherwise); a resilient State's
+	// Plan/Mapping refer to its tensors and stages, not Built's.
+	Recovered *pipeline.Built
 
 	// shared marks virtual-stage runs (several stages per GPU).
 	shared bool
@@ -67,6 +76,17 @@ func stagesFor(j *Job) []Stage {
 	if j.Config.System.IsZeRO() {
 		return []Stage{
 			{"execute", stageZeRO},
+		}
+	}
+	if j.Config.Resilient() {
+		return []Stage{
+			{"partition", stagePartition},
+			{"build", stageBuild},
+			{"plan", stagePlan},
+			{"apply", stageApply},
+			{"execute", stageExecute},
+			{"resilience", stageResilience},
+			{"report", stageReport},
 		}
 	}
 	return []Stage{
@@ -227,7 +247,36 @@ func stageExecute(ctx context.Context, st *State) error {
 
 func stageReport(ctx context.Context, st *State) error {
 	st.Report = reportFrom(st.Job.Config, st.Exec, st.Plan, st.Mapping, st.Net)
+	if sum := st.Resil; sum != nil {
+		mergeResilience(st.Report, st.Exec, sum)
+	}
 	return nil
+}
+
+// mergeResilience folds the resilient replay's accounting into the
+// ideal run's report: Duration becomes total wall clock, throughput
+// fields keep the fault-free rates, and Goodput prices the difference.
+func mergeResilience(rep *Report, ideal *exec.Result, sum *resilSummary) {
+	if rep.OOM != nil {
+		return // the ideal run already died; nothing was replayed
+	}
+	rep.IdealDuration = ideal.Duration
+	rep.OOM = sum.oom
+	rep.Duration = sum.wall
+	rep.Failures = len(sum.recoveries)
+	rep.Recoveries = sum.recoveries
+	rep.Checkpoints = sum.checkpoints
+	rep.CheckpointBytes = sum.ckptBytes
+	rep.CheckpointTime = sum.ckptTime
+	rep.LostWork = sum.lostWork
+	rep.RecoveryTime = sum.recoveryTime
+	if sum.oom == nil && sum.wall > 0 {
+		samples := rep.SamplesPerSec * ideal.Duration.Secondsf()
+		rep.Goodput = samples / sum.wall.Secondsf()
+	} else {
+		rep.TFLOPS, rep.SamplesPerSec = 0, 0
+		rep.ClusterTFLOPS, rep.ClusterSamplesPerSec = 0, 0
+	}
 }
 
 // stageZeRO runs the analytic data-parallel baseline and assembles its

@@ -110,6 +110,9 @@ type JobInfo struct {
 	// Nodes is the cluster's replica count (omitted for single-server
 	// jobs).
 	Nodes int `json:"nodes,omitempty"`
+	// Failures is the number of injected hardware faults the job
+	// recovered from (omitted for fault-free jobs).
+	Failures int `json:"failures,omitempty"`
 	// HasTrace reports whether GET /v1/jobs/<id>/trace will serve a
 	// Chrome trace for this job.
 	HasTrace bool `json:"has_trace"`

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"mpress/internal/runner"
+	"mpress/internal/units"
+)
+
+// metricsContract reduces a Prometheus text exposition to its stable
+// surface: TYPE declarations plus, for every sample line, the metric
+// name and its sorted label keys. Values and label values are dropped —
+// the contract is the schema a dashboard or alert rule binds to.
+func metricsContract(text string) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(s string) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "# HELP") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE") {
+			add(line)
+			continue
+		}
+		name := line
+		var keys []string
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			j := strings.IndexByte(line, '}')
+			for _, kv := range strings.Split(line[i+1:j], ",") {
+				if eq := strings.IndexByte(kv, '='); eq >= 0 {
+					keys = append(keys, kv[:eq])
+				}
+			}
+			sort.Strings(keys)
+		} else if sp := strings.IndexByte(line, ' '); sp >= 0 {
+			name = line[:sp]
+		}
+		if len(keys) > 0 {
+			add(name + "{" + strings.Join(keys, ",") + "}")
+		} else {
+			add(name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestMetricsContractGolden pins the /metrics schema — metric names,
+// types and label keys — against a golden file, so renames or dropped
+// series (which break scrape configs and dashboards downstream) fail
+// loudly. Regenerate with UPDATE_GOLDEN=1 go test ./internal/serve/.
+func TestMetricsContractGolden(t *testing.T) {
+	s := New(Options{Runner: runner.Options{Workers: 1}, Logger: testLogger(t)})
+	// Stub the job so the scrape is fast and deterministic; the report
+	// exercises the resilience counters.
+	s.runJob = func(ctx context.Context, j *runner.Job) runner.JobResult {
+		return runner.JobResult{Job: j, Report: &runner.Report{
+			Config: j.Config, Failures: 1, Checkpoints: 2, CheckpointBytes: 3 * units.GiB,
+		}}
+	}
+	cl, cancel, wait := startDaemon(t, s)
+	defer func() { cancel(); _ = wait(); cl.HTTPClient.CloseIdleConnections() }()
+
+	// Materialize at least one request-counter and histogram series
+	// before scraping.
+	if _, err := cl.Plan(context.Background(), testConfig(t, runner.SystemMPress), ""); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(metricsContract(scrapeMetrics(t, cl)), "\n") + "\n"
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("metrics contract drifted from %s.\ngot:\n%s\nwant:\n%s\nIf the change is intentional, regenerate with UPDATE_GOLDEN=1.",
+			golden, got, want)
+	}
+}

@@ -74,6 +74,11 @@ type Server struct {
 	jobSeq   atomic.Int64
 	draining atomic.Bool
 
+	// Resilience counters, accumulated over completed jobs.
+	failuresTotal  atomic.Int64
+	ckptsTotal     atomic.Int64
+	ckptBytesTotal atomic.Int64
+
 	// runJob executes one job; tests stub it to make service time
 	// controllable.
 	runJob func(ctx context.Context, j *runner.Job) runner.JobResult
@@ -333,6 +338,17 @@ func (s *Server) planOne(ctx context.Context, cfg runner.Config, retain bool) (*
 		return nil, http.StatusInternalServerError, err
 	}
 	if retain && res.State != nil && res.State.Built != nil && res.State.Exec != nil {
+		// Resilient runs carry their merged wall-clock timeline
+		// (failures, recoveries and checkpoints marked); fault-free
+		// runs collect the executor's.
+		tl := res.State.Timeline
+		if tl == nil {
+			tl = trace.Collect(res.State.Built, res.State.Exec)
+		}
+		failures := 0
+		if res.Report != nil {
+			failures = res.Report.Failures
+		}
 		s.store.put(&jobRecord{
 			info: api.JobInfo{
 				ID:          resp.ID,
@@ -340,9 +356,10 @@ func (s *Server) planOne(ctx context.Context, cfg runner.Config, retain bool) (*
 				System:      res.Job.Config.System.String(),
 				Model:       res.Job.Config.Model.Name,
 				Nodes:       nodesOf(res.Job.Config),
+				Failures:    failures,
 				HasTrace:    true,
 			},
-			timeline: trace.Collect(res.State.Built, res.State.Exec),
+			timeline: tl,
 		})
 	}
 	return resp, http.StatusOK, nil
@@ -366,6 +383,11 @@ func (s *Server) response(res runner.JobResult) (*api.PlanResponse, error) {
 		Report:       res.Report,
 		PlanCacheHit: res.PlanCacheHit,
 		ElapsedMS:    float64(res.Elapsed) / float64(time.Millisecond),
+	}
+	if rep := res.Report; rep != nil {
+		s.failuresTotal.Add(int64(rep.Failures))
+		s.ckptsTotal.Add(int64(rep.Checkpoints))
+		s.ckptBytesTotal.Add(int64(rep.CheckpointBytes))
 	}
 	if len(res.StageTimes) > 0 {
 		resp.StageMS = make(map[string]float64, len(res.StageTimes))
@@ -424,6 +446,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"mpressd_runner_plan_seconds_total", "counter", "Cumulative wall-clock in the planning stage.", st.PlanTime.Seconds()},
 		{"mpressd_runner_exec_seconds_total", "counter", "Cumulative wall-clock in the execution stage.", st.ExecTime.Seconds()},
 		{"mpressd_retained_jobs", "gauge", "Completed jobs retained for the trace endpoint.", float64(len(s.store.list()))},
+		{"mpressd_failures_injected_total", "counter", "Simulated hardware faults injected across completed jobs.", float64(s.failuresTotal.Load())},
+		{"mpressd_checkpoints_total", "counter", "Checkpoint snapshots taken across completed jobs.", float64(s.ckptsTotal.Load())},
+		{"mpressd_checkpoint_bytes_total", "counter", "Cumulative checkpoint payload bytes across completed jobs.", float64(s.ckptBytesTotal.Load())},
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.writeText(w, gauges)

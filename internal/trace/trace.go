@@ -65,6 +65,23 @@ func Collect(b *pipeline.Built, res *exec.Result) *Timeline {
 			End:        units.Duration(sp.End),
 		})
 	}
+	for _, rec := range res.Checkpoints {
+		t.Events = append(t.Events, Event{
+			Name:       "checkpoint",
+			Kind:       graph.Checkpoint,
+			Stage:      -1, // run-wide lane: the snapshot drains every stage
+			Microbatch: rec.Minibatch,
+			Start:      units.Duration(rec.Start),
+			End:        units.Duration(rec.End),
+		})
+	}
+	if f := res.Failure; f != nil {
+		at := units.Duration(f.At)
+		t.Events = append(t.Events, Event{
+			Name: "failure", Kind: graph.Failure, Stage: -1, Microbatch: -1,
+			Start: at, End: at,
+		})
+	}
 	sort.SliceStable(t.Events, func(a, b int) bool {
 		if t.Events[a].Stage != t.Events[b].Stage {
 			return t.Events[a].Stage < t.Events[b].Stage
@@ -72,6 +89,34 @@ func Collect(b *pipeline.Built, res *exec.Result) *Timeline {
 		return t.Events[a].Start < t.Events[b].Start
 	})
 	return t
+}
+
+// Append merges other's events into t shifted by offset, extending the
+// span and lane count as needed — how a resilient run's per-segment
+// timelines become one wall-clock trace.
+func (t *Timeline) Append(other *Timeline, offset units.Duration) {
+	for _, e := range other.Events {
+		e.Start += offset
+		e.End += offset
+		t.Events = append(t.Events, e)
+	}
+	if end := offset + other.Span; end > t.Span {
+		t.Span = end
+	}
+	if other.Stages > t.Stages {
+		t.Stages = other.Stages
+	}
+}
+
+// Mark adds one synthetic run-wide span (failure, recovery) and grows
+// the timeline to cover it.
+func (t *Timeline) Mark(kind graph.OpKind, name string, start, end units.Duration) {
+	t.Events = append(t.Events, Event{
+		Name: name, Kind: kind, Stage: -1, Microbatch: -1, Start: start, End: end,
+	})
+	if end > t.Span {
+		t.Span = end
+	}
 }
 
 // chromeEvent is the trace-event JSON schema (phase "X" = complete).
@@ -96,6 +141,8 @@ func lane(k graph.OpKind) (tid int, track string) {
 		return 1, "boundary"
 	case graph.SwapOut, graph.SwapIn, graph.Drop:
 		return 2, "compaction"
+	case graph.Checkpoint, graph.Failure, graph.Recovery:
+		return 4, "resilience"
 	default:
 		return 3, "other"
 	}

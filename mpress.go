@@ -26,6 +26,8 @@
 package mpress
 
 import (
+	"mpress/internal/chaos"
+	"mpress/internal/ckpt"
 	"mpress/internal/cluster"
 	"mpress/internal/hw"
 	"mpress/internal/memsim"
@@ -118,6 +120,13 @@ const (
 	MiB = units.MiB
 )
 
+// Simulated-time units, for fault models and checkpoint policies.
+const (
+	Microsecond = units.Microsecond
+	Millisecond = units.Millisecond
+	Second      = units.Second
+)
+
 // GBps and TFLOPS build link bandwidths and compute rates; Gbps is the
 // bits-per-second form NIC fabrics are quoted in (Gbps(100) = 12.5
 // decimal GB/s).
@@ -153,7 +162,40 @@ var (
 	Ethernet10G = cluster.Ethernet10G
 	// LookupFabric resolves CLI names ("fast", "slow", "ib-4x100", …).
 	LookupFabric = cluster.LookupFabric
+	// FabricNames lists every name LookupFabric accepts, for CLI help.
+	FabricNames = cluster.FabricNames
 )
+
+// Resilience building blocks (internal/chaos, internal/ckpt): set
+// Config.Faults and/or Config.Checkpoint to run a job under a
+// deterministic fault schedule with checkpoint/restart and
+// degraded-topology re-planning. See "Injecting faults" in the README.
+type (
+	// Faults is a deterministic fault model: either a seeded
+	// exponential schedule (Seed+MTBF) or an explicit Script.
+	Faults = chaos.Config
+	// Fault is one scheduled hardware fault.
+	Fault = chaos.Fault
+	// FaultKind enumerates the injectable fault classes.
+	FaultKind = chaos.Kind
+	// Checkpoint is the snapshot policy; Interval 0 means the
+	// Young–Daly optimum derived from Faults.MTBF.
+	Checkpoint = ckpt.Policy
+	// Recovery records one rollback-replan-resume cycle in a Report.
+	Recovery = runner.Recovery
+)
+
+// The injectable fault classes.
+const (
+	GPUFail      = chaos.GPUFail
+	NVLinkFail   = chaos.NVLinkFail
+	NICFlap      = chaos.NICFlap
+	HostPressure = chaos.HostPressure
+)
+
+// YoungDaly returns the optimal checkpoint interval sqrt(2*C*MTBF)
+// for snapshot cost C and mean time between failures MTBF.
+var YoungDaly = ckpt.YoungDaly
 
 // Topology constructors (paper Sec. IV-A testbeds).
 var (
