@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test race fmt vet smoke bench
+.PHONY: check build test race fmt vet smoke bench benchcheck profile
 
-check: fmt vet build race
+check: fmt vet build race benchcheck
 
 # Run every example binary end to end; each must exit 0.
 smoke:
@@ -10,14 +10,29 @@ smoke:
 		echo "== go run ./$$d"; $(GO) run ./$$d; \
 	done
 
-# Performance trajectory: Go micro-benchmarks plus the scaling and
-# resilience experiments, each writing machine-readable per-job perf
-# records (BENCH_*.json: fingerprint, samples/sec, wall time) for
-# commit-over-commit comparison. Non-blocking in CI.
+# Performance trajectory: Go micro-benchmarks plus the scaling,
+# resilience and planner experiments, each writing machine-readable
+# per-job perf records (BENCH_*.json: fingerprint, samples/sec, wall
+# time, plan time) for commit-over-commit comparison. Non-blocking in
+# CI.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./... | tee BENCH_go.txt
 	$(GO) run ./cmd/mpress-bench -exp scaling -perf BENCH_scaling.json > /dev/null
 	$(GO) run ./cmd/mpress-bench -exp resilience -perf BENCH_resilience.json > /dev/null
+	$(GO) run ./cmd/mpress-bench -exp planner -perf BENCH_planner.json > /dev/null
+
+# Single-iteration smoke of the refinement-loop and sim-kernel
+# benchmarks, so check catches them compiling or asserting badly
+# without paying for full benchmark runs.
+benchcheck:
+	$(GO) test -run '^$$' -bench '^BenchmarkRefine$$' -benchtime 1x .
+	$(GO) test -run '^$$' -bench '^BenchmarkSimKernel$$' -benchtime 1x ./internal/sim
+
+# CPU and heap profiles of the planner experiment (the refinement loop
+# plus its emulations); inspect with `go tool pprof cpu.pprof`.
+profile:
+	$(GO) run ./cmd/mpress-bench -exp planner -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof; try: $(GO) tool pprof -top cpu.pprof"
 
 build:
 	$(GO) build ./...

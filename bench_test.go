@@ -11,6 +11,7 @@ package mpress_test
 // in benchmark diffs, not just wall time.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -170,6 +171,46 @@ func BenchmarkMPressGPT255BOnDGX2(b *testing.B) {
 		System:         mpress.SystemMPress,
 		MicrobatchSize: 2,
 	})
+}
+
+// BenchmarkRefine times the planner refinement loop on the planner
+// presets (the same points the "planner" experiment and the
+// determinism acceptance test use), at sequential and 4-way candidate
+// evaluation. Each iteration plans from scratch on a fresh
+// single-worker runner; plan-ms isolates the refinement stage from
+// build/execute, and emulations is the arbitration count — identical
+// across worker settings by construction, so a change in that metric
+// between sub-benchmarks is a determinism bug, not a perf change.
+func BenchmarkRefine(b *testing.B) {
+	for _, p := range experiments.PlannerPresets() {
+		b.Run(p.Name, func(b *testing.B) {
+			for _, workers := range []int{1, 4} {
+				b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+					cfg := p.Cfg
+					cfg.PlanWorkers = workers
+					var planMS, emulations float64
+					for i := 0; i < b.N; i++ {
+						j, err := mpress.NewJob(cfg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						r := mpress.NewRunner(mpress.RunnerOptions{Workers: 1})
+						res := r.Run(context.Background(), j)
+						if res.Err != nil {
+							b.Fatal(res.Err)
+						}
+						if res.Report.Failed() {
+							b.Fatalf("unexpected OOM: %v", res.Report.OOM)
+						}
+						planMS = float64(res.StageTimes["plan"].Microseconds()) / 1e3
+						emulations = float64(res.Report.Plan.Emulations)
+					}
+					b.ReportMetric(planMS, "plan-ms")
+					b.ReportMetric(emulations, "emulations")
+				})
+			}
+		})
+	}
 }
 
 func BenchmarkZeROInfinityGPT103B(b *testing.B) {

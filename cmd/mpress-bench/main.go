@@ -7,6 +7,7 @@
 //	mpress-bench -exp fig7
 //	mpress-bench -exp all -jobs 4
 //	mpress-bench -exp scaling -perf BENCH_scaling.json
+//	mpress-bench -exp planner -cpuprofile cpu.pprof -memprofile mem.pprof
 //	mpress-bench            # run everything
 package main
 
@@ -15,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 
@@ -27,15 +30,26 @@ import (
 // simulated throughput (zero for OOM/error jobs); WallMS is the real
 // time the job occupied a worker, the cost of running the simulator
 // itself.
+// Planner fields break the wall time down: PlanMS is the real time the
+// planner ran (zero on a plan-cache hit, flagged by PlanCacheHit),
+// PlanWorkers the refinement parallelism it used, and SimEvents /
+// SimEventsPerSec the executor's deterministic event count and the
+// real-time rate it processed them at — the simulator's own
+// throughput, not the simulated system's.
 type perfRecord struct {
-	Experiment    string  `json:"experiment"`
-	Fingerprint   string  `json:"fingerprint"`
-	System        string  `json:"system"`
-	Model         string  `json:"model"`
-	SamplesPerSec float64 `json:"samples_per_sec"`
-	Goodput       float64 `json:"goodput,omitempty"`
-	WallMS        float64 `json:"wall_ms"`
-	Status        string  `json:"status"`
+	Experiment      string  `json:"experiment"`
+	Fingerprint     string  `json:"fingerprint"`
+	System          string  `json:"system"`
+	Model           string  `json:"model"`
+	SamplesPerSec   float64 `json:"samples_per_sec"`
+	Goodput         float64 `json:"goodput,omitempty"`
+	WallMS          float64 `json:"wall_ms"`
+	PlanMS          float64 `json:"plan_ms"`
+	PlanWorkers     int     `json:"plan_workers,omitempty"`
+	PlanCacheHit    bool    `json:"plan_cache_hit,omitempty"`
+	SimEvents       int64   `json:"sim_events,omitempty"`
+	SimEventsPerSec float64 `json:"sim_events_per_sec,omitempty"`
+	Status          string  `json:"status"`
 }
 
 func main() {
@@ -43,6 +57,8 @@ func main() {
 	exp := flag.String("exp", "", "run only the named experiment, or \"all\" (see -list)")
 	jobs := flag.Int("jobs", 0, "concurrent training jobs per experiment (default GOMAXPROCS)")
 	perf := flag.String("perf", "", "write per-job perf records (JSON array) to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the run, post-GC) to this file")
 	flag.Parse()
 
 	if *list {
@@ -51,6 +67,38 @@ func main() {
 		}
 		return
 	}
+
+	fatal := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "mpress-bench: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("starting CPU profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	// Deferred so it runs on every exit path below; profiles the live
+	// heap after a GC, which is what leak hunting wants.
+	writeMemProfile := func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal("writing heap profile: %v", err)
+		}
+	}
+	defer writeMemProfile()
 
 	experiments.SetParallelism(*jobs)
 
@@ -64,12 +112,15 @@ func main() {
 	if *perf != "" {
 		experiments.SetObserver(func(jr mpress.JobResult) {
 			rec := perfRecord{
-				Experiment:  current,
-				Fingerprint: jr.Job.Fingerprint(),
-				System:      jr.Job.Config.System.String(),
-				Model:       jr.Job.Config.Model.Name,
-				WallMS:      float64(jr.Elapsed.Microseconds()) / 1e3,
-				Status:      "ok",
+				Experiment:   current,
+				Fingerprint:  jr.Job.Fingerprint(),
+				System:       jr.Job.Config.System.String(),
+				Model:        jr.Job.Config.Model.Name,
+				WallMS:       float64(jr.Elapsed.Microseconds()) / 1e3,
+				PlanMS:       float64(jr.StageTimes["plan"].Microseconds()) / 1e3,
+				PlanWorkers:  jr.Job.Config.PlanWorkers,
+				PlanCacheHit: jr.PlanCacheHit,
+				Status:       "ok",
 			}
 			switch {
 			case jr.Err != nil:
@@ -79,6 +130,10 @@ func main() {
 			default:
 				rec.SamplesPerSec = jr.Report.SamplesPerSec
 				rec.Goodput = jr.Report.Goodput
+				rec.SimEvents = jr.Report.SimEvents
+				if d := jr.StageTimes["execute"]; d > 0 {
+					rec.SimEventsPerSec = float64(rec.SimEvents) / d.Seconds()
+				}
 			}
 			mu.Lock()
 			records = append(records, rec)
@@ -95,7 +150,13 @@ func main() {
 			if records[i].Experiment != records[j].Experiment {
 				return records[i].Experiment < records[j].Experiment
 			}
-			return records[i].Fingerprint < records[j].Fingerprint
+			if records[i].Fingerprint != records[j].Fingerprint {
+				return records[i].Fingerprint < records[j].Fingerprint
+			}
+			// The planner experiment reruns one fingerprint at several
+			// worker settings (PlanWorkers is not part of the config
+			// fingerprint); keep those rows in a stable order too.
+			return records[i].PlanWorkers < records[j].PlanWorkers
 		})
 		out, err := json.MarshalIndent(records, "", "  ")
 		if err == nil {

@@ -136,6 +136,12 @@ type Result struct {
 	// Failure is non-nil when Options.FailAt cut the run short; the
 	// result then describes the partial run up to the fault.
 	Failure *Failure
+	// Events is the number of simulator events the run consumed and
+	// EventsPerSec the kernel's real-time processing rate — simulator
+	// throughput (not a simulated quantity), reported for bench
+	// records and planner tuning.
+	Events       int64
+	EventsPerSec float64
 }
 
 // residency tracks where a tensor's bytes currently live.
@@ -218,7 +224,13 @@ func Run(o Options) (*Result, error) {
 		seen[d] = true
 	}
 
-	e := &engine{o: o, sim: sim.New(), g: o.Built.Graph}
+	// The kernel is pooled: the planner emulates hundreds of candidate
+	// plans per job, and recycling the event heap and lane timelines
+	// keeps that loop allocation-free. Nothing in a Result aliases sim
+	// state (lane sets only feed scalar counters into stats), so the
+	// instance can be released as soon as Run returns.
+	e := &engine{o: o, sim: sim.Get(), g: o.Built.Graph}
+	defer sim.Put(e.sim)
 	e.fab = fabric.New(e.sim, o.Topo)
 	e.gpus = make([]*memsim.Device, o.Topo.NumGPUs)
 	e.compute = make([]*sim.Queue, o.Topo.NumGPUs)
@@ -704,6 +716,9 @@ func (e *engine) result() *Result {
 		r.TFLOPS = r.UsefulFLOPs.TFLOPs() / secs
 		r.SamplesPerSec = float64(e.o.Built.SamplesProcessed()) / secs
 	}
+	st := e.sim.Stats()
+	r.Events = st.Events
+	r.EventsPerSec = st.EventsPerSec
 	return r
 }
 

@@ -31,7 +31,8 @@ func TestRegistry(t *testing.T) {
 	names := Names()
 	want := []string{"table1", "table2", "table3", "table4", "fig1", "fig2",
 		"fig4", "fig7", "fig8a", "fig8b", "fig9", "mapping-cost",
-		"partition-ablation", "grace", "schedules", "scaling", "resilience"}
+		"partition-ablation", "grace", "schedules", "scaling", "resilience",
+		"planner"}
 	if len(names) != len(want) {
 		t.Fatalf("registered %d experiments (%v), want %d", len(names), names, len(want))
 	}

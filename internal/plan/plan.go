@@ -20,12 +20,17 @@
 //     greedily convert the worst-overhead assignments to D2D swap
 //     while spare GPU memory lasts, keeping each conversion only if
 //     the emulator reports an improvement.
+//
+// Refinement candidates are evaluated on copy-on-write trial snapshots
+// (see refine.go), which lets Options.Workers emulate several
+// candidates concurrently while producing byte-identical plans at any
+// worker count.
 package plan
 
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"mpress/internal/compaction"
@@ -96,6 +101,12 @@ type Options struct {
 	// DisableStriping routes every D2D swap to a single peer instead
 	// of striping across all reachable ones (Fig. 9 ablation).
 	DisableStriping bool
+	// Workers bounds how many refinement candidates are emulated
+	// concurrently (a worker pool over copy-on-write trial snapshots;
+	// see refine.go). Plans are byte-identical at any setting — each
+	// round's winner is the first improving candidate in rank order,
+	// not completion order. Zero or one means sequential.
+	Workers int
 	// Ctx, when non-nil, cancels planning: each emulator run polls it
 	// (see exec.Options.Ctx), so a cancelled sweep abandons the
 	// refinement loop mid-emulation.
@@ -126,9 +137,13 @@ type Plan struct {
 	SavedByMech map[Mechanism]units.Bytes
 	StageRange  map[Mechanism][2]int
 
-	// Emulations counts emulator runs spent planning; Baseline and
-	// Planned are the unbounded profile duration and the final
-	// emulated duration.
+	// Emulations counts the emulator arbitrations planning consumed.
+	// The count is defined by the sequential candidate scan — memo
+	// hits count, lower-bound prunes do not, and a parallel refinement
+	// (Options.Workers > 1) charges exactly the arbitrations the
+	// sequential scan would have reached — so it is identical at any
+	// worker setting (plans are serialized byte-for-byte, and this
+	// field rides along).
 	Emulations int
 	Baseline   units.Duration
 	Planned    units.Duration
@@ -142,7 +157,11 @@ type planner struct {
 	mapRes  *mapping.Result
 	spare   compaction.SpareBudget
 
-	slotOf     map[tensor.ID]pipeline.SlotKey
+	slotOf map[tensor.ID]pipeline.SlotKey
+	// groups indexes each (stage, block) activation group's instances
+	// in microbatch order — precomputed once so the refinement loop's
+	// candidate enumeration does not rescan slotOf.
+	groups     map[groupKey][]tensor.ID
 	inUse      map[groupKey]Mechanism
 	plan       *Plan
 	targets    []units.Bytes // per-stage savings targets
@@ -185,6 +204,17 @@ func Compute(o Options) (*Plan, error) {
 		for _, id := range acts {
 			p.slotOf[id] = k
 		}
+	}
+	p.groups = make(map[groupKey][]tensor.ID)
+	for id, k := range p.slotOf {
+		if _, ok := p.built.RecomputeFLOPs[id]; !ok {
+			continue
+		}
+		key := groupKey{k.Stage, p.built.Graph.Tensors.Get(id).Layer}
+		p.groups[key] = append(p.groups[key], id)
+	}
+	for _, ids := range p.groups {
+		slices.Sort(ids)
 	}
 
 	// Per-stage savings targets.
@@ -527,7 +557,7 @@ func (p *planner) groupLive(stage, blk int) units.Duration {
 	if len(gaps) == 0 {
 		return 0
 	}
-	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	slices.Sort(gaps)
 	return gaps[len(gaps)/2]
 }
 
@@ -541,18 +571,10 @@ func (p *planner) groupSize(stage, blk int) units.Bytes {
 }
 
 // groupTensors lists the group's activation instances in microbatch
-// order.
+// order. The returned slice aliases the precomputed index and must not
+// be mutated.
 func (p *planner) groupTensors(stage, blk int) []tensor.ID {
-	var ids []tensor.ID
-	for id, k := range p.slotOf {
-		if k.Stage == stage && p.built.Graph.Tensors.Get(id).Layer == blk {
-			if _, ok := p.built.RecomputeFLOPs[id]; ok {
-				ids = append(ids, id)
-			}
-		}
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return p.groups[groupKey{stage, blk}]
 }
 
 // applyGroup assigns mech to every instance of the group and returns
@@ -595,7 +617,7 @@ func (p *planner) applyGroupD2D(stage, blk int) units.Bytes {
 	size := b.Graph.Tensors.Get(ids[0]).Size
 	layouts := make([][]fabric.Part, 0, inflight)
 	for i := 0; i < inflight; i++ {
-		parts := p.planStripes(src, size)
+		parts := p.planStripes(p.spare, src, size)
 		if parts == nil {
 			for _, l := range layouts {
 				compaction.UnplanStripes(p.spare, l)
@@ -617,235 +639,26 @@ func (p *planner) applyGroupD2D(stage, blk int) units.Bytes {
 	return saved
 }
 
-// planStripes honors the DisableStriping ablation.
-func (p *planner) planStripes(src hw.DeviceID, size units.Bytes) []fabric.Part {
+// planStripes honors the DisableStriping ablation. It debits the given
+// budget (the planner's own, or a trial snapshot's clone), which is
+// what lets concurrent refinement trials plan stripes independently.
+func (p *planner) planStripes(budget compaction.SpareBudget, src hw.DeviceID, size units.Bytes) []fabric.Part {
 	if !p.o.DisableStriping {
-		return compaction.PlanStripes(p.o.Topo, src, size, p.spare)
+		return compaction.PlanStripes(p.o.Topo, src, size, budget)
 	}
 	// Single-peer route: the reachable neighbor with the most spare.
 	var best hw.DeviceID = -1
 	var bestAvail units.Bytes
 	for _, nb := range p.o.Topo.NVLinkNeighbors(src) {
-		if p.spare[nb] > bestAvail {
-			best, bestAvail = nb, p.spare[nb]
+		if budget[nb] > bestAvail {
+			best, bestAvail = nb, budget[nb]
 		}
 	}
 	if best < 0 || bestAvail < size {
 		return nil
 	}
-	p.spare[best] -= size
+	budget[best] -= size
 	return compaction.SingleStripe(best, size)
-}
-
-// refineWithD2D is step 4: convert the worst-overhead groups to D2D
-// while the emulator agrees it helps.
-func (p *planner) refineWithD2D(current units.Duration) (units.Duration, error) {
-	type cand struct {
-		key      groupKey
-		overhead units.Duration
-	}
-	rate := p.rate()
-	for round := 0; round < p.o.MaxRefinements; round++ {
-		var cands []cand
-		for key, mech := range p.inUse {
-			if mech != MechRecompute && mech != MechHostSwap {
-				continue
-			}
-			live := p.groupLive(key.Stage, key.Block)
-			ids := p.groupTensors(key.Stage, key.Block)
-			if len(ids) == 0 {
-				continue
-			}
-			size := p.built.Graph.Tensors.Get(ids[0]).Size
-			var ov units.Duration
-			if mech == MechRecompute {
-				ov = compaction.RecomputeCost(p.built.RecomputeFLOPs[ids[0]], rate)
-			} else {
-				ov = compaction.Overhead(compaction.HostSwapCost(p.o.Topo, size), live)
-			}
-			// Zero static overhead still qualifies: PCIe queueing and
-			// throttling costs are only visible to the emulator, which
-			// arbitrates every conversion below.
-			cands = append(cands, cand{key: key, overhead: ov})
-		}
-		if len(cands) == 0 {
-			return current, nil
-		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].overhead != cands[j].overhead {
-				return cands[i].overhead > cands[j].overhead
-			}
-			if cands[i].key.Stage != cands[j].key.Stage {
-				return cands[i].key.Stage < cands[j].key.Stage
-			}
-			return cands[i].key.Block < cands[j].key.Block
-		})
-
-		improved := false
-		for _, c := range cands {
-			// Prefer retargeting to D2D (the paper's refinement);
-			// when spare memory is exhausted or D2D does not help,
-			// fall back to trading a hostswap group for recomputation.
-			attempts := []func(groupKey) (bool, func()){p.convertToD2D}
-			if p.o.Allowed.Recompute && p.inUse[c.key] == MechHostSwap {
-				attempts = append(attempts, p.convertToRecompute)
-			}
-			for _, attempt := range attempts {
-				trial, undo := attempt(c.key)
-				if !trial {
-					continue
-				}
-				res, err := p.emulate(p.plan)
-				if err != nil {
-					return 0, err
-				}
-				// Ties are accepted: an equal-duration D2D route
-				// still relieves the PCIe link and GPU compute the
-				// other mechanisms consume.
-				if res.OOM == nil && res.Duration <= current {
-					current = res.Duration
-					improved = true
-					break
-				}
-				undo()
-			}
-			if improved {
-				break // re-rank candidates after each accepted move
-			}
-		}
-		if !improved {
-			return current, nil
-		}
-	}
-	return current, nil
-}
-
-// convertToD2D retargets a group to D2D, returning an undo closure.
-// When the spare budget cannot host all of the group's in-flight
-// instances, the conversion is partial: only microbatch instances in
-// coexistence slots with a planned stripe layout move to D2D (the
-// paper likewise applies D2D tensor by tensor where spare allows).
-func (p *planner) convertToD2D(key groupKey) (bool, func()) {
-	ids := p.groupTensors(key.Stage, key.Block)
-	if len(ids) == 0 {
-		return false, nil
-	}
-	b := p.built
-	prevMech := p.inUse[key]
-	if prevMech == MechD2D {
-		return false, nil
-	}
-	inflight := b.Cfg.Kind.InFlight(key.Stage, b.NumStages(), b.Cfg.Microbatches)
-	src := p.plan.Mapping[key.Stage]
-	size := b.Graph.Tensors.Get(ids[0]).Size
-
-	layouts := make([][]fabric.Part, 0, inflight)
-	for i := 0; i < inflight; i++ {
-		parts := p.planStripes(src, size)
-		if parts == nil {
-			break
-		}
-		layouts = append(layouts, parts)
-	}
-	if len(layouts) == 0 {
-		return false, nil
-	}
-	// Instances whose coexistence slot (m mod inflight) lacks a
-	// layout keep their previous mechanism; instances of the same
-	// slot never overlap in time, so they share one layout. Already
-	// converted instances (from an earlier partial pass) are skipped.
-	prevParts := make(map[tensor.ID][]fabric.Part)
-	var converted []tensor.ID
-	slotLayout := make(map[int][]fabric.Part)
-	next := 0
-	for i, id := range ids {
-		if p.plan.Act[id] == MechD2D {
-			continue
-		}
-		slot := i % inflight
-		lay, ok := slotLayout[slot]
-		if !ok {
-			if next >= len(layouts) {
-				continue
-			}
-			lay = layouts[next]
-			next++
-			slotLayout[slot] = lay
-		}
-		prevParts[id] = p.plan.Parts[id]
-		p.plan.Act[id] = MechD2D
-		p.plan.Parts[id] = lay
-		converted = append(converted, id)
-	}
-	// Return unused layouts to the budget.
-	for _, l := range layouts[next:] {
-		compaction.UnplanStripes(p.spare, l)
-	}
-	layouts = layouts[:next]
-	if len(converted) == 0 {
-		return false, nil
-	}
-	allD2D := true
-	for _, id := range ids {
-		if p.plan.Act[id] != MechD2D {
-			allD2D = false
-			break
-		}
-	}
-	if allD2D {
-		p.inUse[key] = MechD2D
-	}
-	undo := func() {
-		for _, l := range layouts {
-			compaction.UnplanStripes(p.spare, l)
-		}
-		for _, id := range converted {
-			p.plan.Act[id] = prevMech
-			if pp := prevParts[id]; pp != nil {
-				p.plan.Parts[id] = pp
-			} else {
-				delete(p.plan.Parts, id)
-			}
-		}
-		p.inUse[key] = prevMech
-	}
-	return true, undo
-}
-
-// convertToRecompute retargets a hostswap group to recomputation,
-// returning an undo closure.
-func (p *planner) convertToRecompute(key groupKey) (bool, func()) {
-	ids := p.groupTensors(key.Stage, key.Block)
-	if len(ids) == 0 {
-		return false, nil
-	}
-	prevMech := p.inUse[key]
-	for _, id := range ids {
-		p.plan.Act[id] = MechRecompute
-	}
-	p.inUse[key] = MechRecompute
-	undo := func() {
-		for _, id := range ids {
-			p.plan.Act[id] = prevMech
-		}
-		p.inUse[key] = prevMech
-	}
-	return true, undo
-}
-
-// emulate applies the plan to a fresh Built and runs it bounded.
-func (p *planner) emulate(pl *Plan) (*exec.Result, error) {
-	b, err := p.o.Build()
-	if err != nil {
-		return nil, err
-	}
-	opts, err := Apply(pl, b, p.o.Topo)
-	if err != nil {
-		return nil, err
-	}
-	opts.Ctx = p.o.Ctx
-	p.emulations++
-	return exec.Run(*opts)
 }
 
 // swapWindows computes, per stage, how many swapped instance-sets may
@@ -946,7 +759,7 @@ func Apply(pl *Plan, b *pipeline.Built, topo *hw.Topology) (*exec.Options, error
 	for id := range pl.Act {
 		actIDs = append(actIDs, id)
 	}
-	sort.Slice(actIDs, func(i, j int) bool { return actIDs[i] < actIDs[j] })
+	slices.Sort(actIDs)
 	swapOuts := make(map[tensor.ID]graph.OpID)
 	swapIns := make(map[tensor.ID]graph.OpID)
 	for _, id := range actIDs {
@@ -1024,7 +837,7 @@ func Apply(pl *Plan, b *pipeline.Built, topo *hw.Topology) (*exec.Options, error
 	for id := range pl.HostPersist {
 		persIDs = append(persIDs, id)
 	}
-	sort.Slice(persIDs, func(i, j int) bool { return persIDs[i] < persIDs[j] })
+	slices.Sort(persIDs)
 	order, err := g.TopoOrder()
 	if err != nil {
 		return nil, err

@@ -136,6 +136,13 @@ type Config struct {
 	// recovery accounting.
 	Faults     *chaos.Config
 	Checkpoint *ckpt.Policy
+	// PlanWorkers bounds how many candidate conversions the planner's
+	// refinement loop emulates concurrently (plan.Options.Workers).
+	// Plans are byte-identical at any setting — the knob only changes
+	// how fast the search runs — so it joins neither the fingerprint
+	// nor the plan key. Zero defers to the runner's default
+	// (Options.PlanWorkers, else sequential).
+	PlanWorkers int
 }
 
 // Resilient reports whether the job runs the fault/checkpoint replay.
@@ -168,6 +175,9 @@ func (c Config) WithDefaults() (Config, error) {
 	}
 	if c.AllReduceBuckets < 0 {
 		return c, fmt.Errorf("mpress: AllReduceBuckets %d is negative", c.AllReduceBuckets)
+	}
+	if c.PlanWorkers < 0 {
+		return c, fmt.Errorf("mpress: PlanWorkers %d is negative", c.PlanWorkers)
 	}
 	if c.Replicas() > 1 && c.AllReduceBuckets == 0 {
 		c.AllReduceBuckets = 4
@@ -284,6 +294,13 @@ type Report struct {
 	// rollbacks; RecoveryTime the cumulative detection + restore cost.
 	LostWork     units.Duration
 	RecoveryTime units.Duration
+	// SimEvents is the number of discrete-event-simulator events the
+	// final execution consumed — a deterministic measure of kernel
+	// work, recorded for bench records and planner tuning (divide by
+	// the execute stage's real time for events/sec; the rate itself
+	// is kept out of the Report so reports stay run-to-run
+	// byte-identical). Zero for the analytic ZeRO baselines.
+	SimEvents int64
 }
 
 // Failed reports whether the job hit OOM.

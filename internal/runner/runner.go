@@ -29,6 +29,11 @@ type Options struct {
 	// that small sweeps behave as if unbounded); negative means
 	// unbounded.
 	PlanCacheEntries int
+	// PlanWorkers is the default per-job planner refinement
+	// parallelism for jobs whose Config.PlanWorkers is zero (see that
+	// field — plans are byte-identical at any setting). Zero means
+	// sequential refinement.
+	PlanWorkers int
 }
 
 // JobResult pairs a job with its outcome.
@@ -116,7 +121,11 @@ func (r *Runner) run(ctx context.Context, j *Job, keep bool) JobResult {
 		ctx = context.Background()
 	}
 	start := time.Now()
-	st := &State{Job: j, cache: r.cache}
+	planWorkers := j.Config.PlanWorkers
+	if planWorkers == 0 {
+		planWorkers = r.opts.PlanWorkers
+	}
+	st := &State{Job: j, cache: r.cache, planWorkers: planWorkers}
 	res := JobResult{Job: j, StageTimes: make(map[string]time.Duration)}
 	for _, stage := range stagesFor(j) {
 		if err := ctx.Err(); err != nil {

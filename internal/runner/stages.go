@@ -61,6 +61,10 @@ type State struct {
 	shared bool
 	// cache is the runner's plan cache (nil runs the planner inline).
 	cache *planCache
+	// planWorkers is the resolved refinement parallelism the Plan
+	// stage hands to plan.Options.Workers (plans are byte-identical
+	// at any setting).
+	planWorkers int
 }
 
 // Stage is one composable step of the job pipeline.
@@ -179,6 +183,7 @@ func stagePlan(ctx context.Context, st *State) error {
 			Allowed:              allowed,
 			DisableMappingSearch: c.DisableMappingSearch,
 			DisableStriping:      c.DisableStriping,
+			Workers:              st.planWorkers,
 			Ctx:                  ctx,
 		})
 	}
@@ -317,6 +322,7 @@ func stageZeRO(ctx context.Context, st *State) error {
 // reportFrom assembles the Report for a pipeline-system run.
 func reportFrom(c Config, res *exec.Result, pl *plan.Plan, mapping []hw.DeviceID, net *cluster.Net) *Report {
 	rep := &Report{Config: c, OOM: res.OOM, Plan: pl, Mapping: mapping, Replicas: c.Replicas()}
+	rep.SimEvents = res.Events
 	if res.OOM == nil {
 		rep.Duration = res.Duration
 		rep.TFLOPS = res.TFLOPS

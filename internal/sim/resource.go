@@ -79,12 +79,14 @@ type LaneSet struct {
 	busy  units.Duration
 }
 
-// NewLaneSet creates a pool of n lanes.
+// NewLaneSet creates a pool of n lanes. The lane timelines come from
+// s's arena, so a pooled Sim builds lane sets without allocating; like
+// the Sim itself, a LaneSet must not be used after Put(s).
 func NewLaneSet(s *Sim, name string, n int) *LaneSet {
 	if n <= 0 {
 		panic(fmt.Sprintf("sim: lane set %s needs at least one lane", name))
 	}
-	return &LaneSet{sim: s, name: name, lanes: make([]Time, n)}
+	return &LaneSet{sim: s, name: name, lanes: s.timeline(n)}
 }
 
 // Name returns the lane set's label.

@@ -6,11 +6,18 @@
 // Determinism is load-bearing: ties are broken by insertion order, so a
 // simulation with identical inputs always produces identical timings,
 // and tests can assert exact values.
+//
+// The kernel is built to be reused: Reset returns a Sim to its pristine
+// state without releasing its event heap or timeline arena, and the
+// package-level Get/Put pool recycles instances so a hot caller (the
+// planner emulates hundreds of candidate plans per job) runs the event
+// loop without per-run heap growth.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"sync"
+	"time"
 
 	"mpress/internal/units"
 )
@@ -24,34 +31,32 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (time, insertion sequence); the sequence
+// tiebreak is what makes replays byte-identical.
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
-// Sim is one simulation instance. The zero value is not usable; call New.
+// Sim is one simulation instance. The zero value is not usable; call New
+// (or Get, which recycles instances through the package pool).
 type Sim struct {
 	now     Time
 	seq     int64
-	events  eventHeap
+	events  []event // binary min-heap ordered by event.before
 	stopped bool
 	// executed counts processed events, exposed for tests and for the
 	// runaway-guard in Run.
 	executed int64
+	// wall accumulates real time spent inside Run, for Stats.
+	wall time.Duration
+	// arena backs resource timelines (LaneSet lanes); arenaUsed is the
+	// high-water mark of the current block. Reset recycles the block, so
+	// pooled Sims hand out timelines without allocating.
+	arena     []Time
+	arenaUsed int
 	// MaxEvents aborts Run (with a panic) if exceeded; zero means the
 	// default of 200M events. It exists to turn accidental infinite
 	// event loops into diagnosable failures.
@@ -74,11 +79,113 @@ func New() *Sim {
 	return &Sim{}
 }
 
+var pool = sync.Pool{New: func() any { return New() }}
+
+// Get returns a pristine Sim from the package pool. Callers that run
+// many simulations back to back (the planner's refinement loop) should
+// pair it with Put so event heaps and timeline arenas are recycled
+// instead of reallocated per run.
+func Get() *Sim {
+	return pool.Get().(*Sim)
+}
+
+// Put resets s and returns it to the package pool. The caller must not
+// retain s, nor any timeline handed out by it (LaneSets built on s),
+// after Put.
+func Put(s *Sim) {
+	s.Reset()
+	pool.Put(s)
+}
+
+// Reset returns s to its pristine post-New state while keeping the
+// event heap's and timeline arena's capacity, so a recycled Sim runs
+// without reallocating either. Queued closures are zeroed to keep them
+// collectable.
+func (s *Sim) Reset() {
+	clear(s.events)
+	s.events = s.events[:0]
+	s.arenaUsed = 0
+	s.now = 0
+	s.seq = 0
+	s.executed = 0
+	s.wall = 0
+	s.stopped = false
+	s.Interrupted = false
+	s.MaxEvents = 0
+	s.Interrupt = nil
+	s.InterruptEvery = 0
+}
+
+// timeline hands out a zeroed n-entry Time slice from the Sim's arena,
+// full-capacity-clamped so appends cannot overlap neighbours. Blocks
+// are recycled by Reset; growth strands the old block (still referenced
+// by outstanding timelines) and starts a larger one.
+func (s *Sim) timeline(n int) []Time {
+	if s.arenaUsed+n > len(s.arena) {
+		size := 2 * (s.arenaUsed + n)
+		if size < 64 {
+			size = 64
+		}
+		s.arena = make([]Time, size)
+		s.arenaUsed = 0
+	}
+	tl := s.arena[s.arenaUsed : s.arenaUsed+n : s.arenaUsed+n]
+	s.arenaUsed += n
+	for i := range tl {
+		tl[i] = 0
+	}
+	return tl
+}
+
 // Now returns the current simulated time.
 func (s *Sim) Now() Time { return s.now }
 
 // Executed returns the number of events processed so far.
 func (s *Sim) Executed() int64 { return s.executed }
+
+// push adds e to the event heap (typed sift-up; no interface boxing).
+func (s *Sim) push(e event) {
+	h := append(s.events, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	s.events = h
+}
+
+// pop removes and returns the earliest event (typed sift-down). The
+// vacated slot is zeroed so the popped closure is collectable.
+func (s *Sim) pop() event {
+	h := s.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && h[l].before(h[least]) {
+			least = l
+		}
+		if r < n && h[r].before(h[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	s.events = h
+	return top
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // (t < Now) panics: it always indicates a modelling bug.
@@ -87,7 +194,7 @@ func (s *Sim) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	s.push(event{at: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time.
@@ -115,8 +222,9 @@ func (s *Sim) Run() Time {
 	}
 	s.stopped = false
 	s.Interrupted = false
+	t0 := time.Now()
 	for len(s.events) > 0 && !s.stopped {
-		e := heap.Pop(&s.events).(event)
+		e := s.pop()
 		s.now = e.at
 		s.executed++
 		if s.executed > max {
@@ -128,7 +236,28 @@ func (s *Sim) Run() Time {
 		}
 		e.fn()
 	}
+	s.wall += time.Since(t0)
 	return s.now
+}
+
+// Stats summarizes the kernel's processed work: how many events Run
+// consumed, the real time it spent doing so, and the resulting
+// throughput. EventsPerSec is the simulator's own processing rate (not
+// a simulated quantity) — the figure of merit for the planner's
+// emulation loop.
+type Stats struct {
+	Events       int64
+	Wall         time.Duration
+	EventsPerSec float64
+}
+
+// Stats returns the run statistics accumulated since New or Reset.
+func (s *Sim) Stats() Stats {
+	st := Stats{Events: s.executed, Wall: s.wall}
+	if s.wall > 0 {
+		st.EventsPerSec = float64(s.executed) / s.wall.Seconds()
+	}
+	return st
 }
 
 // Pending returns the number of queued events, for tests.

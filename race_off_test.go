@@ -1,0 +1,5 @@
+//go:build !race
+
+package mpress_test
+
+const raceEnabled = false

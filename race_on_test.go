@@ -1,0 +1,8 @@
+//go:build race
+
+package mpress_test
+
+// raceEnabled reports whether this test binary was built with -race,
+// so long-running determinism presets can be trimmed under the slower
+// instrumented runs.
+const raceEnabled = true
