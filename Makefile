@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test race fmt vet smoke bench benchcheck profile
+.PHONY: check build test race fmt vet vet-grid smoke bench benchcheck profile
 
-check: fmt vet build race benchcheck
+check: fmt vet vet-grid build race benchcheck
 
 # Run every example binary end to end; each must exit 0.
 smoke:
@@ -50,3 +50,14 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Placement discipline: stage → device lookups go through the shard
+# grid (grid.Placement / Plan.Device), never by indexing a raw Mapping
+# slice — direct indexing silently ignores the TP/CP axes.
+vet-grid:
+	@out="$$(grep -rn 'Mapping\[' --include='*.go' cmd internal examples *.go 2>/dev/null \
+		| grep -v '_test\.go' | grep -v '^internal/grid/' || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "direct Mapping[...] indexing outside internal/grid (use grid.Placement):"; \
+		echo "$$out"; exit 1; \
+	fi

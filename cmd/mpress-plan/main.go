@@ -73,6 +73,7 @@ func main() {
 	topoName := flag.String("topo", "dgx1", "topology: dgx1, dgx1-nvme, dgx2, grace")
 	schedule := flag.String("schedule", "", "schedule: pipedream, dapple or gpipe (default by family)")
 	mb := flag.Int("mb", 0, "microbatch size (default 12 for Bert, 2 for GPT)")
+	tp := flag.Int("tp", 0, "tensor-parallel degree (0 or 1: no TP)")
 	saveTo := flag.String("save", "", "write the computed plan as JSON to this file")
 	loadFrom := flag.String("load", "", "load a previously saved plan instead of planning")
 	force := flag.Bool("force", false, "load a plan even if its job label mismatches this job")
@@ -120,6 +121,7 @@ func main() {
 		Schedule:       kind,
 		System:         runner.SystemMPress,
 		MicrobatchSize: micro,
+		TPDegree:       *tp,
 	}
 	job, err := runner.NewJob(cfg)
 	if err != nil {
@@ -127,11 +129,22 @@ func main() {
 	}
 	c := job.Config
 
-	demand := pipeline.Demand(c.Model, *c.Precision, mustPartition(c), c.Schedule, c.MicrobatchSize, c.Microbatches)
+	demand := pipeline.DemandTP(c.Model, *c.Precision, mustPartition(c), c.Schedule, c.MicrobatchSize, c.Microbatches, c.TP())
 	fmt.Printf("%s on %s, %v, microbatch %d\n", m.Name, topo.Name, kind, micro)
 	fmt.Printf("parameters: %.2fB   per-GPU capacity: %v\n", m.Billions(), topo.GPU.Memory)
+	if c.TP() > 1 {
+		g, err := c.Grid()
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("grid: %s\n", g.Shape)
+	}
 	fmt.Printf("job fingerprint: %s\n\n", job.Fingerprint())
-	fmt.Println("per-stage memory demand:")
+	if c.TP() > 1 {
+		fmt.Println("per-stage memory demand (per TP rank):")
+	} else {
+		fmt.Println("per-stage memory demand:")
+	}
 	for s, d := range demand {
 		marker := ""
 		if d > topo.GPU.Memory {
@@ -148,6 +161,9 @@ func main() {
 	var pl *plan.Plan
 	var jr runner.JobResult
 	if *loadFrom != "" {
+		if c.TP() > 1 {
+			fail("-load with -tp > 1 is not supported; re-plan (the replay path runs the flat pipeline only)")
+		}
 		f, err := os.Open(*loadFrom)
 		if err != nil {
 			fail("%v", err)
@@ -182,10 +198,14 @@ func main() {
 	}
 	fmt.Printf("\nthroughput: %.1f TFLOPS, %.1f samples/s (simulated %v)\n",
 		rep.TFLOPS, rep.SamplesPerSec, rep.Duration)
-	fmt.Printf("traffic: NVLink %v, PCIe %v, NVMe %v\n",
-		rep.NVLinkBytes, rep.PCIeBytes, rep.NVMeBytes)
+	fmt.Printf("traffic: NVLink %v, PCIe %v, NVMe %v", rep.NVLinkBytes, rep.PCIeBytes, rep.NVMeBytes)
+	if rep.TPAllReduceBytes > 0 {
+		fmt.Printf(" (TP all-reduce %v)", rep.TPAllReduceBytes)
+	}
+	fmt.Println()
 
 	tl := trace.Collect(jr.State.Built, jr.State.Exec)
+	tl.LaneNames = jr.State.TraceLaneNames()
 	if *gantt {
 		fmt.Println()
 		tl.WriteGantt(os.Stdout)
@@ -251,8 +271,11 @@ func runRemote(baseURL string, job *runner.Job, saveTo, traceTo, loadFrom string
 	}
 	fmt.Printf("\nthroughput: %.1f TFLOPS, %.1f samples/s (simulated %v)\n",
 		rep.TFLOPS, rep.SamplesPerSec, rep.Duration)
-	fmt.Printf("traffic: NVLink %v, PCIe %v, NVMe %v\n",
-		rep.NVLinkBytes, rep.PCIeBytes, rep.NVMeBytes)
+	fmt.Printf("traffic: NVLink %v, PCIe %v, NVMe %v", rep.NVLinkBytes, rep.PCIeBytes, rep.NVMeBytes)
+	if rep.TPAllReduceBytes > 0 {
+		fmt.Printf(" (TP all-reduce %v)", rep.TPAllReduceBytes)
+	}
+	fmt.Println()
 
 	if traceTo != "" {
 		f, err := os.Create(traceTo)

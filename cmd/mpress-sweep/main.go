@@ -64,6 +64,7 @@ func main() {
 	systemsFlag := flag.String("systems", "plain,swap,recompute,d2d,mpress",
 		"comma-separated systems: plain,swap,recompute,d2d,mpress,zero3,offload,infinity")
 	mbFlag := flag.String("mb", "", "comma-separated microbatch sizes (default per family)")
+	tpFlag := flag.String("tp", "1", "comma-separated tensor-parallel degrees")
 	miniFlag := flag.String("minibatches", "", "comma-separated minibatch counts (default 2)")
 	sizesFlag := flag.String("sizes", "", "comma-separated variant sizes (default: all)")
 	nodesFlag := flag.String("nodes", "1", "comma-separated node counts; > 1 runs hybrid data+pipeline parallelism")
@@ -113,6 +114,7 @@ func main() {
 		mbs = parseInts("microbatch", *mbFlag)
 	}
 	nodeCounts := parseInts("nodes", *nodesFlag)
+	tpDegrees := parseInts("tp", *tpFlag)
 	fab, err := mpress.LookupFabric(*fabricFlag)
 	if err != nil {
 		fail("%v", err)
@@ -168,6 +170,7 @@ func main() {
 		mb     int
 		mini   int
 		nodes  int
+		tp     int
 	}
 	var cfgs []mpress.Config
 	var points []point
@@ -182,19 +185,22 @@ func main() {
 			}
 			for _, mini := range minis {
 				for _, mb := range mbs {
-					for i, sys := range systems {
-						cfgs = append(cfgs, mpress.Config{
-							Topology:       topo,
-							Model:          m,
-							Schedule:       schedule,
-							System:         sys,
-							MicrobatchSize: mb,
-							Minibatches:    mini,
-							Cluster:        clus,
-							Faults:         faults,
-							Checkpoint:     ckptPolicy,
-						})
-						points = append(points, point{size, m.Billions(), i, mb, mini, nodes})
+					for _, tp := range tpDegrees {
+						for i, sys := range systems {
+							cfgs = append(cfgs, mpress.Config{
+								Topology:       topo,
+								Model:          m,
+								Schedule:       schedule,
+								System:         sys,
+								MicrobatchSize: mb,
+								Minibatches:    mini,
+								TPDegree:       tp,
+								Cluster:        clus,
+								Faults:         faults,
+								Checkpoint:     ckptPolicy,
+							})
+							points = append(points, point{size, m.Billions(), i, mb, mini, nodes, tp})
+						}
 					}
 				}
 			}
@@ -234,9 +240,9 @@ func main() {
 	defer w.Flush()
 	if err := w.Write([]string{
 		"family", "size", "params_b", "topology", "system", "microbatch", "minibatches",
-		"nodes", "fabric", "mtbf", "ckpt_interval",
+		"tp", "nodes", "fabric", "mtbf", "ckpt_interval",
 		"status", "tflops", "samples_per_sec", "max_gpu_peak_gib", "host_peak_gib",
-		"cluster_tflops", "nic_egress_gib",
+		"cluster_tflops", "nic_egress_gib", "tp_allreduce_gib",
 		"goodput", "failures", "lost_work_s", "ckpt_gib",
 	}); err != nil {
 		fail("%v", err)
@@ -255,15 +261,15 @@ func main() {
 		row := []string{
 			*family, p.size, fmt.Sprintf("%.2f", p.params),
 			topo.Name, systemNames[p.sysIdx], strconv.Itoa(p.mb), strconv.Itoa(mini),
-			strconv.Itoa(p.nodes), fabName, mtbfCol, ckptCol,
+			strconv.Itoa(p.tp), strconv.Itoa(p.nodes), fabName, mtbfCol, ckptCol,
 		}
 		rep := jr.Report
 		switch {
 		case jr.Err != nil:
 			failed++
-			row = append(row, "error", "", "", "", "", "", "", "", "", "", "")
+			row = append(row, "error", "", "", "", "", "", "", "", "", "", "", "")
 		case rep.Failed():
-			row = append(row, "oom", "", "", "", "", "", "", "", "", "", "")
+			row = append(row, "oom", "", "", "", "", "", "", "", "", "", "", "")
 		default:
 			var peak mpress.Bytes
 			for _, pk := range rep.PerGPUPeak {
@@ -279,6 +285,7 @@ func main() {
 				fmt.Sprintf("%.2f", rep.HostPeak.GiBf()),
 				fmt.Sprintf("%.2f", rep.ClusterTFLOPS),
 				fmt.Sprintf("%.2f", rep.NICBytes.GiBf()),
+				fmt.Sprintf("%.2f", rep.TPAllReduceBytes.GiBf()),
 			)
 			if resilient {
 				row = append(row,

@@ -11,6 +11,7 @@
 //	mpress-topo -topo dgx1 -json               # the topology as mpressd wire JSON
 //	mpress-topo -topo dgx1 -nodes 4 -fabric fast
 //	mpress-topo -topo dgx1 -nodes 4 -json      # the cluster as JSON
+//	mpress-topo -topo dgx1 -tp 2               # the TP(2)×PP(4)×DP(1)×CP(1) grid
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 
 	"mpress/internal/cluster"
 	"mpress/internal/fabric"
+	"mpress/internal/grid"
 	"mpress/internal/hw"
 	"mpress/internal/units"
 )
@@ -30,6 +32,8 @@ func main() {
 	topoName := flag.String("topo", "dgx1", "topology: dgx1, dgx1-nvme, dgx2, grace")
 	sizeStr := flag.String("size", "256MiB", "transfer size for the bandwidth probe")
 	nodes := flag.Int("nodes", 1, "node count; > 1 composes a multi-node cluster")
+	tp := flag.Int("tp", 1, "tensor-parallel degree for the grid factorization")
+	cp := flag.Int("cp", 1, "context-parallel degree for the grid factorization (stub axis; must be 1)")
 	fabricName := flag.String("fabric", "fast", "inter-node fabric, one of: "+strings.Join(cluster.FabricNames(), ", "))
 	asJSON := flag.Bool("json", false, "emit the topology (or cluster, with -nodes > 1) as JSON and exit")
 	flag.Parse()
@@ -126,5 +130,23 @@ func main() {
 		fmt.Printf("  simulated: %v (algbw %v)\n",
 			cluster.MeasureAllReduce(clus, size, 4),
 			cluster.EffectiveAllReduceBandwidth(clus, size, 4))
+	}
+
+	g, err := grid.New(topo, *nodes, *tp, *cp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpress-topo: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("\ngrid: %s\n", g.Shape)
+	if g.Shape.TP > 1 || g.Shape.CP > 1 {
+		for n := 0; n < g.Shape.DP; n++ {
+			fmt.Printf("  node %d:\n", n)
+			for pp := 0; pp < g.Shape.PP; pp++ {
+				for c := 0; c < g.Shape.CP; c++ {
+					fmt.Printf("    %s\n", g.GroupString(pp, c, n))
+				}
+			}
+		}
+		fmt.Printf("  TP ring hop bandwidth: %v\n", g.TPRingBandwidth())
 	}
 }

@@ -1,0 +1,62 @@
+// Tensor parallelism: fit a model that OOMs as a pure pipeline by
+// splitting every layer across an NVLink island.
+//
+// Config.TPDegree adds a TP axis to the shard grid: the 8 GPUs of a
+// DGX-1 factor into TP(2) × PP(4) instead of a depth-8 pipeline, each
+// layer's weights, optimizer state and activations shard two ways, and
+// every forward/backward operator pays a ring all-reduce over the
+// island's NVLink lanes. On 16 GiB V100s that per-GPU saving is the
+// difference between GPT-15.4B crashing out of memory and training at
+// full throughput.
+//
+//	go run ./examples/tensor-parallel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpress"
+)
+
+func main() {
+	topo := mpress.DGX1()
+	topo.GPU.Memory = 16 * mpress.GiB
+	topo.Name = "DGX-1V-16G"
+
+	base := mpress.Config{
+		Topology:       topo,
+		Model:          mpress.MustGPT("15.4B"),
+		Schedule:       mpress.DAPPLE,
+		System:         mpress.SystemMPress,
+		MicrobatchSize: 2,
+	}
+
+	for _, tp := range []int{1, 2} {
+		cfg := base
+		cfg.TPDegree = tp
+		rep, err := mpress.Train(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.Failed() {
+			if tp > 1 {
+				log.Fatalf("TP=%d should fit %s: %v", tp, cfg.Model.Name, rep.OOM)
+			}
+			fmt.Printf("%s at TP=1 (PP=8) on %s: out of memory (%v)\n",
+				cfg.Model.Name, topo.Name, rep.OOM)
+			continue
+		}
+		if tp == 1 {
+			log.Fatalf("expected %s to OOM at TP=1 on 16 GiB GPUs", cfg.Model.Name)
+		}
+		var peak mpress.Bytes
+		for _, pk := range rep.PerGPUPeak {
+			if pk > peak {
+				peak = pk
+			}
+		}
+		fmt.Printf("%s at TP=%d (PP=%d): %.1f TFLOPS, peak %v/GPU, %v all-reduced over NVLink\n",
+			cfg.Model.Name, tp, topo.NumGPUs/tp, rep.TFLOPS, peak, rep.TPAllReduceBytes)
+	}
+}

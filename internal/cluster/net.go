@@ -184,6 +184,22 @@ func MeasureAllReduce(c *Cluster, size units.Bytes, buckets int) units.Duration 
 	return end
 }
 
+// RingAllReduceTime is the closed-form time of a ring all-reduce over
+// n symmetric members with per-hop bandwidth hopBW and per-step setup
+// latency: 2(n-1) steps, each moving payload/n across one hop. For
+// intra-node TP groups pinned on an NVLink island the ring is
+// uncontended — every member sends and receives concurrently — so the
+// closed form is exact and internal/exec charges it directly;
+// inter-node collectives instead go through Net, which adds NIC
+// contention on top of the same formula.
+func RingAllReduceTime(n int, payload units.Bytes, hopBW units.Bandwidth, latency units.Duration) units.Duration {
+	if n <= 1 || payload <= 0 || hopBW <= 0 {
+		return 0
+	}
+	chunk := (payload + units.Bytes(n) - 1) / units.Bytes(n)
+	return units.Duration(2*(n-1)) * (latency + hopBW.TransferTime(chunk))
+}
+
 // EffectiveAllReduceBandwidth reports the isolated all-reduce's
 // algorithm bandwidth, size/time (the figure NCCL benchmarks call
 // "algbw"). Infinite for single-node clusters; callers gate on

@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"sort"
 
+	"mpress/internal/cluster"
 	"mpress/internal/fabric"
 	"mpress/internal/graph"
+	"mpress/internal/grid"
 	"mpress/internal/hw"
 	"mpress/internal/memsim"
 	"mpress/internal/pipeline"
@@ -25,6 +27,21 @@ import (
 	"mpress/internal/tensor"
 	"mpress/internal/units"
 )
+
+// TPSpec activates tensor-parallel modeling: the simulated devices are
+// TP-rank-0 representatives of Degree-wide NVLink groups, and every
+// Forward/Backward op is extended by its group's ring all-reduce
+// (payloads from Built.TPFwAllReduce / TPBwAllReduce, timed by
+// cluster.RingAllReduceTime over the group's hop bandwidth).
+type TPSpec struct {
+	// Degree is the TP group width; nil spec or Degree <= 1 disables
+	// every TP code path.
+	Degree int
+	// HopBW is the NVLink bandwidth of one ring hop inside the group
+	// (grid.TPRingBandwidth); Latency the per-step setup cost.
+	HopBW   units.Bandwidth
+	Latency units.Duration
+}
 
 // Options configures one simulated run.
 type Options struct {
@@ -68,6 +85,10 @@ type Options struct {
 	// simulated time: the run stops dead and Result.Failure records
 	// it. The rollback/re-plan/resume loop lives in internal/runner.
 	FailAt units.Duration
+	// TP, when non-nil with Degree > 1, appends each stage's
+	// per-operator tensor-parallel all-reduces to its compute ops and
+	// accounts their NVLink traffic in Result.TPAllReduceBytes.
+	TP *TPSpec
 	// GradSync, when non-nil, joins this run to its data-parallel
 	// replicas (internal/cluster): called once at setup with the run's
 	// clock, it returns the synchronizer invoked whenever a stage's
@@ -136,6 +157,10 @@ type Result struct {
 	// Failure is non-nil when Options.FailAt cut the run short; the
 	// result then describes the partial run up to the fault.
 	Failure *Failure
+	// TPAllReduceBytes is the NVLink traffic of tensor-parallel
+	// per-operator all-reduces, summed over every TP group member
+	// (zero without Options.TP).
+	TPAllReduceBytes units.Bytes
 	// Events is the number of simulator events the run consumed and
 	// EventsPerSec the kernel's real-time processing rate — simulator
 	// throughput (not a simulated quantity), reported for bench
@@ -159,6 +184,7 @@ const (
 
 type engine struct {
 	o       Options
+	place   grid.Placement
 	sim     *sim.Sim
 	fab     *fabric.Fabric
 	gpus    []*memsim.Device
@@ -196,6 +222,8 @@ type engine struct {
 	// a live run from a drained one; lastEnd is the latest real
 	// completion time, the run duration when a spurious FailAt event
 	// advanced the clock past the last op.
+	tpBytes units.Bytes
+
 	ckpt    *ckptState
 	failure *Failure
 	opsLeft int
@@ -229,7 +257,7 @@ func Run(o Options) (*Result, error) {
 	// keeps that loop allocation-free. Nothing in a Result aliases sim
 	// state (lane sets only feed scalar counters into stats), so the
 	// instance can be released as soon as Run returns.
-	e := &engine{o: o, sim: sim.Get(), g: o.Built.Graph}
+	e := &engine{o: o, place: grid.Flat(o.Mapping), sim: sim.Get(), g: o.Built.Graph}
 	defer sim.Put(e.sim)
 	e.fab = fabric.New(e.sim, o.Topo)
 	e.gpus = make([]*memsim.Device, o.Topo.NumGPUs)
@@ -291,7 +319,7 @@ func (e *engine) init() error {
 	}
 	e.state = make([]residency, e.g.Tensors.Len())
 	for s, ids := range b.Persistent {
-		dev := e.gpus[e.o.Mapping[s]]
+		dev := e.gpus[e.place.GPU(s)]
 		for _, id := range ids {
 			tn := e.g.Tensors.Get(id)
 			if e.o.InitiallySwapped[id] {
@@ -451,7 +479,7 @@ func (e *engine) alloc(dev hw.DeviceID, size units.Bytes, what string) bool {
 
 // gpuOf returns the device hosting a tensor.
 func (e *engine) gpuOf(t tensor.ID) hw.DeviceID {
-	return e.o.Mapping[e.g.Tensors.Get(t).Stage]
+	return e.place.GPU(e.g.Tensors.Get(t).Stage)
 }
 
 // dispatch begins executing op: performs its dispatch-time memory
@@ -461,7 +489,7 @@ func (e *engine) dispatch(id graph.OpID) {
 	now := e.sim.Now()
 	switch op.Kind {
 	case graph.Forward, graph.Backward, graph.OptimizerStep, graph.Recompute:
-		gpu := e.o.Mapping[op.Stage]
+		gpu := e.place.GPU(op.Stage)
 		if op.Kind == graph.Recompute {
 			// Rematerialize the dropped activation.
 			if e.state[op.Subject] != resDropped {
@@ -488,15 +516,24 @@ func (e *engine) dispatch(id graph.OpID) {
 		if op.Kind == graph.OptimizerStep {
 			dur = e.o.Topo.GPU.HBM.TransferTime(op.MoveBytes)
 		}
+		ar := e.tpAllReduceDur(op)
 		e.compute[gpu].Submit(dur, func(start, end sim.Time) {
+			if ar > 0 {
+				// The op is not done until its TP group's collective
+				// drains; downstream consumers (the next stage's
+				// transfer, the schedule chain) wait on the reduced
+				// tensor, exactly like the compute itself.
+				e.sim.At(end+ar, func() { e.complete(id, start, end+ar) })
+				return
+			}
 			e.complete(id, start, end)
 		})
 
 	case graph.Transfer:
 		in := e.g.Tensors.Get(op.Inputs[0])
 		out := e.g.Tensors.Get(op.Outputs[0])
-		src := e.o.Mapping[in.Stage]
-		dst := e.o.Mapping[out.Stage]
+		src := e.place.GPU(in.Stage)
+		dst := e.place.GPU(out.Stage)
 		if !e.alloc(dst, out.Size, out.Name) {
 			return
 		}
@@ -614,6 +651,33 @@ func (e *engine) dispatch(id graph.OpID) {
 	}
 }
 
+// tpAllReduceDur returns the ring time of the tensor-parallel
+// all-reduce appended to op — zero without TP or for op kinds that
+// run no collective — and accounts its group-wide NVLink traffic:
+// each of the Degree members moves 2(Degree-1)/Degree × payload, so
+// the group total is 2(Degree-1) × payload, charged once since the
+// one simulated device stands in for the whole group.
+func (e *engine) tpAllReduceDur(op *graph.Op) units.Duration {
+	tp := e.o.TP
+	if tp == nil || tp.Degree <= 1 {
+		return 0
+	}
+	var payload units.Bytes
+	switch op.Kind {
+	case graph.Forward:
+		payload = e.o.Built.TPFwAllReduce[op.Stage]
+	case graph.Backward:
+		payload = e.o.Built.TPBwAllReduce[op.Stage]
+	default:
+		return 0
+	}
+	if payload <= 0 {
+		return 0
+	}
+	e.tpBytes += units.Bytes(2*(tp.Degree-1)) * payload
+	return cluster.RingAllReduceTime(tp.Degree, payload, tp.HopBW, tp.Latency)
+}
+
 // releaseSubject returns a swapped/dropped tensor's GPU bytes.
 func (e *engine) releaseSubject(t tensor.ID, gpu hw.DeviceID, to residency) {
 	if e.state[t] != resOnGPU {
@@ -704,6 +768,7 @@ func (e *engine) result() *Result {
 	for _, d := range e.gpus {
 		r.GPUs = append(r.GPUs, d.Stats())
 	}
+	r.TPAllReduceBytes = e.tpBytes
 	r.Host = e.host.Stats()
 	r.NVMe = e.nvme.Stats()
 	r.Fabric = e.fab.Stats()

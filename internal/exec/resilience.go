@@ -141,7 +141,7 @@ func (e *engine) boundary(q int) {
 		if bytes <= 0 {
 			continue
 		}
-		if _, e1 := e.fab.HostLink(e.o.Mapping[s], bytes, true); e1 > end {
+		if _, e1 := e.fab.HostLink(e.place.GPU(s), bytes, true); e1 > end {
 			end = e1
 		}
 	}

@@ -67,7 +67,10 @@ func MappingSearchCost(w io.Writer) error {
 		name    string
 		demands []units.Bytes
 	}{{"stress", stress}, {"typical", typical}} {
-		r := mapping.Search(topo, c.demands)
+		r, err := mapping.Search(topo, c.demands)
+		if err != nil {
+			return err
+		}
 		t.addf("%s|%d|%s|%s|%s", c.name, r.Searched, r.Elapsed, r.Placed, r.MaxTime)
 	}
 	t.write(w)

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mpress"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "tp",
+		Title: "Tensor parallelism: TP×PP grid sweep on 16 GiB GPUs (capacity crossover + all-reduce cost)",
+		Run:   TensorParallel,
+	})
+}
+
+// TensorParallel sweeps the TP axis of the shard grid on a
+// memory-starved DGX-1 (16 GiB V100s, the paper's small-memory
+// testbed). Raising TP splits every transformer layer across an NVLink
+// island: per-GPU weights, optimizer state and activations shrink by
+// the TP degree while the pipeline depth falls to PP = 8/TP, so a
+// model that OOMs as a pure pipeline (GPT-15.4B at TP=1) fits at TP=2
+// — the capacity story. The price is the per-operator all-reduces,
+// whose NVLink traffic grows with the degree — the bandwidth story
+// Bert-1.67B (which fits everywhere) isolates.
+func TensorParallel(w io.Writer) error {
+	topo := mpress.DGX1()
+	topo.GPU.Memory = 16 * mpress.GiB
+	topo.Name = "DGX-1V-16G"
+
+	type workload struct {
+		label string
+		cfg   mpress.Config
+	}
+	workloads := []workload{
+		{"Bert-1.67B/PipeDream", mpress.Config{
+			Topology:       topo,
+			Model:          mpress.MustBert("1.67B"),
+			Schedule:       mpress.PipeDream,
+			System:         mpress.SystemMPress,
+			MicrobatchSize: 12,
+		}},
+		{"GPT-15.4B/DAPPLE", mpress.Config{
+			Topology:       topo,
+			Model:          mpress.MustGPT("15.4B"),
+			Schedule:       mpress.DAPPLE,
+			System:         mpress.SystemMPress,
+			MicrobatchSize: 2,
+		}},
+	}
+	tpDegrees := []int{1, 2, 4}
+
+	type row struct {
+		model string
+		tp    int
+	}
+	var rows []row
+	var cfgs []mpress.Config
+	for _, wl := range workloads {
+		for _, tp := range tpDegrees {
+			cfg := wl.cfg
+			cfg.TPDegree = tp
+			rows = append(rows, row{wl.label, tp})
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := trainAll(cfgs)
+
+	t := newTable("Model", "TP", "PP", "Status", "TFLOPS", "Max GPU peak", "TP all-reduce", "NVLink total")
+	for i, r := range rows {
+		res := results[i]
+		pp := fmt.Sprint(topo.NumGPUs / r.tp)
+		if res.Err != nil {
+			t.add(r.model, fmt.Sprint(r.tp), pp, "ERR", "-", "-", "-", "-")
+			continue
+		}
+		rep := res.Report
+		if rep.Failed() {
+			t.add(r.model, fmt.Sprint(r.tp), pp, "OOM", "-", "-", "-", "-")
+			continue
+		}
+		var peak mpress.Bytes
+		for _, pk := range rep.PerGPUPeak {
+			if pk > peak {
+				peak = pk
+			}
+		}
+		t.add(r.model, fmt.Sprint(r.tp), pp, "ok",
+			fmt.Sprintf("%.1f", rep.TFLOPS),
+			fmt.Sprint(peak),
+			fmt.Sprint(rep.TPAllReduceBytes),
+			fmt.Sprint(rep.NVLinkBytes))
+	}
+	t.write(w)
+	return nil
+}

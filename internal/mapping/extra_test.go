@@ -55,8 +55,8 @@ func TestSearchScoreNeverNegativeProperty(t *testing.T) {
 			units.GB(float64(d4) / 4), units.GB(float64(d5) / 4),
 			units.GB(float64(d6) / 4), units.GB(float64(d7) / 4),
 		}
-		r := Search(topo, demands)
-		if r.Score < 0 || len(r.Mapping) != 8 {
+		r, err := Search(topo, demands)
+		if err != nil || r.Score < 0 || len(r.Mapping) != 8 {
 			return false
 		}
 		used := map[hw.DeviceID]bool{}

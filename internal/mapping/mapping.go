@@ -12,6 +12,7 @@
 package mapping
 
 import (
+	"fmt"
 	"time"
 
 	"mpress/internal/hw"
@@ -22,9 +23,26 @@ import (
 // stripes never push a light-loaded GPU into OOM.
 const SpareMargin = units.Bytes(512) * units.MiB
 
+// InfeasibleError reports a placement that cannot exist: more
+// pipeline stages than devices to host them. It is a typed error so
+// service layers can classify it as a caller mistake (HTTP 400)
+// instead of crashing — the condition is reachable from user input
+// (e.g. Stages > the TP plane's device count) and from degraded
+// replans after GPU failures.
+type InfeasibleError struct {
+	Stages int
+	GPUs   int
+}
+
+// Error describes the infeasibility.
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("mapping: %d stages exceed the %d available GPUs", e.Stages, e.GPUs)
+}
+
 // Result describes the chosen mapping.
 type Result struct {
-	// Mapping[s] is the GPU hosting stage s.
+	// Mapping lists, per stage, the GPU hosting it (plane-space; see
+	// internal/grid.Placement for shard expansion).
 	Mapping []hw.DeviceID
 	// Spare[g] is the remaining import budget of each GPU under this
 	// mapping (after the margin), for the planner to consume.
@@ -45,13 +63,14 @@ type Result struct {
 
 // Search finds the best stage→GPU assignment for the given per-stage
 // memory demands (profiler output). demands[s] is stage s's peak; the
-// GPU capacity comes from topo.
-func Search(topo *hw.Topology, demands []units.Bytes) *Result {
+// GPU capacity comes from topo. A demand list longer than the device
+// count returns an *InfeasibleError.
+func Search(topo *hw.Topology, demands []units.Bytes) (*Result, error) {
 	start := time.Now()
 	n := topo.NumGPUs
 	S := len(demands)
 	if S > n {
-		panic("mapping: more stages than GPUs")
+		return nil, &InfeasibleError{Stages: S, GPUs: n}
 	}
 	cap := topo.GPU.Memory
 
@@ -79,7 +98,7 @@ func Search(topo *hw.Topology, demands []units.Bytes) *Result {
 		r := &Result{Mapping: identity, NoOverflow: !anyOverflow, Searched: 1, Elapsed: time.Since(start)}
 		r.Spare = spareUnder(topo, identity, spareOf)
 		r.Placed, r.MaxTime, r.Score = evaluate(topo, identity, overflow, spareOf)
-		return r
+		return r, nil
 	}
 
 	best := &Result{Mapping: identity, Score: -1}
@@ -117,7 +136,7 @@ func Search(topo *hw.Topology, demands []units.Bytes) *Result {
 	best.Searched = searched
 	best.Elapsed = time.Since(start)
 	best.Spare = spareUnder(topo, best.Mapping, spareOf)
-	return best
+	return best, nil
 }
 
 // spareUnder converts per-stage spare into per-GPU budgets, counting

@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -26,7 +27,10 @@ func TestSearchNoOverflow(t *testing.T) {
 	for s := range d {
 		d[s] = units.GB(10)
 	}
-	r := Search(topo, d)
+	r, err := Search(topo, d)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.NoOverflow {
 		t.Error("expected NoOverflow")
 	}
@@ -42,7 +46,10 @@ func TestSearchNoOverflow(t *testing.T) {
 
 func TestSearchSwitchedSkips(t *testing.T) {
 	topo := hw.DGX2()
-	r := Search(topo, demandsFor(topo, 6))
+	r, err := Search(topo, demandsFor(topo, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Searched != 1 {
 		t.Errorf("switched topology searched %d mappings, want 1", r.Searched)
 	}
@@ -59,7 +66,10 @@ func TestSearchSwitchedSkips(t *testing.T) {
 func TestSearchBeatsIdentityOnDGX1(t *testing.T) {
 	topo := hw.DGX1()
 	d := demandsFor(topo, 6)
-	r := Search(topo, d)
+	r, err := Search(topo, d)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Searched != 40320 {
 		t.Errorf("searched %d assignments, want 8!", r.Searched)
 	}
@@ -94,7 +104,10 @@ func TestSearchBeatsIdentityOnDGX1(t *testing.T) {
 
 func TestSearchPlacesOverflowNextToSpare(t *testing.T) {
 	topo := hw.DGX1()
-	r := Search(topo, demandsFor(topo, 6))
+	r, err := Search(topo, demandsFor(topo, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
 	// The overflowing stage 0 must end up with at least one NVLink
 	// neighbor carrying spare budget.
 	g0 := r.Mapping[0]
@@ -113,7 +126,9 @@ func TestSearchIsFast(t *testing.T) {
 	// implementation must stay well under that.
 	topo := hw.DGX1()
 	start := time.Now()
-	Search(topo, demandsFor(topo, 8))
+	if _, err := Search(topo, demandsFor(topo, 8)); err != nil {
+		t.Fatal(err)
+	}
 	if el := time.Since(start); el > 10*time.Second {
 		t.Errorf("search took %v", el)
 	}
@@ -121,8 +136,14 @@ func TestSearchIsFast(t *testing.T) {
 
 func TestSearchDeterministic(t *testing.T) {
 	topo := hw.DGX1()
-	a := Search(topo, demandsFor(topo, 5))
-	b := Search(topo, demandsFor(topo, 5))
+	a, err := Search(topo, demandsFor(topo, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(topo, demandsFor(topo, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range a.Mapping {
 		if a.Mapping[i] != b.Mapping[i] {
 			t.Fatalf("mappings differ: %v vs %v", a.Mapping, b.Mapping)
@@ -133,7 +154,10 @@ func TestSearchDeterministic(t *testing.T) {
 func TestSearchFewerStagesThanGPUs(t *testing.T) {
 	topo := hw.DGX1()
 	d := []units.Bytes{units.GB(38), units.GB(20), units.GB(12), units.GB(8)}
-	r := Search(topo, d)
+	r, err := Search(topo, d)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Mapping) != 4 {
 		t.Fatalf("mapping = %v", r.Mapping)
 	}
@@ -150,11 +174,13 @@ func TestSearchFewerStagesThanGPUs(t *testing.T) {
 	}
 }
 
-func TestSearchTooManyStagesPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	Search(hw.DGX1(), make([]units.Bytes, 9))
+func TestSearchTooManyStagesTypedError(t *testing.T) {
+	_, err := Search(hw.DGX1(), make([]units.Bytes, 9))
+	var inf *InfeasibleError
+	if !errors.As(err, &inf) {
+		t.Fatalf("err = %v, want *InfeasibleError", err)
+	}
+	if inf.Stages != 9 || inf.GPUs != 8 {
+		t.Fatalf("error payload = %+v", inf)
+	}
 }

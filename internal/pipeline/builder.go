@@ -22,6 +22,20 @@ type BuildConfig struct {
 	MicrobatchSize int
 	Microbatches   int
 	Minibatches    int
+	// TP is the tensor-parallel degree each stage is sharded across
+	// (0 or 1 = off). The graph models one representative TP rank:
+	// per-rank tensors and FLOPs shrink by TP (StageProfile.Shard)
+	// while boundary tensors stay full-size, and TPFwAllReduce /
+	// TPBwAllReduce carry the per-operator collective payloads.
+	TP int
+}
+
+// TPDegree normalizes the configured tensor-parallel degree (≥ 1).
+func (bc BuildConfig) TPDegree() int {
+	if bc.TP > 1 {
+		return bc.TP
+	}
+	return 1
 }
 
 // SlotKey addresses one (stage, global microbatch) cell of the
@@ -69,6 +83,14 @@ type Built struct {
 	// it as the prefetch gate for swap-in/recompute instrumentation.
 	PrevOnStage map[graph.OpID]graph.OpID
 
+	// TPFwAllReduce / TPBwAllReduce list, per stage, the NVLink
+	// all-reduce payload one forward / backward op of that stage
+	// exchanges inside its TP group (Megatron's two collectives per
+	// block per direction, each moving the block's boundary-sized
+	// activation). Nil when TP <= 1.
+	TPFwAllReduce []units.Bytes
+	TPBwAllReduce []units.Bytes
+
 	// TotalMicrobatches = Microbatches × Minibatches.
 	TotalMicrobatches int
 	// UsefulFLOPs is the model compute of the whole run (excludes
@@ -102,7 +124,11 @@ func Build(bc BuildConfig) (*Built, error) {
 	g := graph.New(nil)
 	S := bc.Part.NumStages()
 	total := bc.Microbatches * bc.Minibatches
+	T := bc.TPDegree()
 	profiles := Profile(bc.Model, bc.Part, bc.MicrobatchSize)
+	for i := range profiles {
+		profiles[i] = profiles[i].Shard(T)
+	}
 
 	b := &Built{
 		Cfg:               bc,
@@ -118,6 +144,15 @@ func Build(bc BuildConfig) (*Built, error) {
 		RecomputeFLOPs:    make(map[tensor.ID]units.FLOPs),
 		PrevOnStage:       make(map[graph.OpID]graph.OpID),
 		TotalMicrobatches: total,
+	}
+	if T > 1 {
+		b.TPFwAllReduce = make([]units.Bytes, S)
+		b.TPBwAllReduce = make([]units.Bytes, S)
+		for s := 0; s < S; s++ {
+			payload := units.Bytes(int64(2*bc.Part.Stages[s].NumBlocks)) * profiles[s].BoundaryBytes
+			b.TPFwAllReduce[s] = payload
+			b.TPBwAllReduce[s] = payload
+		}
 	}
 
 	// paramT[s] lists stage s's live parameter tensors (forward
@@ -137,6 +172,9 @@ func Build(bc BuildConfig) (*Built, error) {
 	}
 
 	blockParams := bc.Model.ParamsPerBlock()
+	if T > 1 {
+		blockParams = ceilDiv64(blockParams, int64(T))
+	}
 	for s := 0; s < S; s++ {
 		st := bc.Part.Stages[s]
 		for _, blk := range st.Blocks() {
@@ -152,6 +190,9 @@ func Build(bc BuildConfig) (*Built, error) {
 		}
 		if st.HasEmbedding {
 			emb := bc.Model.EmbeddingParams()
+			if T > 1 {
+				emb = ceilDiv64(emb, int64(T))
+			}
 			paramT[s] = append(paramT[s], addPersistent(s, "param:embed", tensor.Parameter, -1,
 				units.Bytes(emb*bc.Prec.ParamBytes)))
 			gradT[s] = append(gradT[s], addPersistent(s, "grad:embed", tensor.Gradient, -1,
@@ -194,7 +235,7 @@ func Build(bc BuildConfig) (*Built, error) {
 					DType: bc.Model.DType, Size: sp.BlockActBytes, Stage: s, Layer: blk,
 				})
 				acts = append(acts, id)
-				b.RecomputeFLOPs[id] = bc.Model.BlockForwardFLOPs(bc.MicrobatchSize)
+				b.RecomputeFLOPs[id] = bc.Model.BlockForwardFLOPs(bc.MicrobatchSize) / units.FLOPs(T)
 			}
 			if st.HasHead {
 				acts = append(acts, g.Tensors.Add(tensor.Tensor{

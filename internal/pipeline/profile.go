@@ -60,6 +60,37 @@ func (sp StageProfile) OptBytes(prec model.Precision) units.Bytes {
 	return units.Bytes(sp.Params * prec.OptBytes)
 }
 
+// Shard returns the profile of one TP rank when the stage is split
+// t ways (Megatron-style intra-layer sharding): parameters, optimizer
+// state, activations and FLOPs divide by t (byte quantities round up
+// so t shards always cover the whole), while boundary tensors stay
+// full-size — every rank holds the complete layer input/output, which
+// is exactly what the per-operator all-reduce re-materializes. With
+// t <= 1 the profile is returned unchanged.
+func (sp StageProfile) Shard(t int) StageProfile {
+	if t <= 1 {
+		return sp
+	}
+	out := sp
+	out.Params = ceilDiv64(sp.Params, int64(t))
+	out.FwFLOPs = sp.FwFLOPs / units.FLOPs(t)
+	out.BwFLOPs = sp.BwFLOPs / units.FLOPs(t)
+	out.BlockActBytes = ceilDivBytes(sp.BlockActBytes, t)
+	out.EmbedActBytes = ceilDivBytes(sp.EmbedActBytes, t)
+	out.LogitsBytes = ceilDivBytes(sp.LogitsBytes, t)
+	out.ActBytes = units.Bytes(int64(sp.Stage.NumBlocks))*out.BlockActBytes +
+		out.EmbedActBytes + out.LogitsBytes
+	return out
+}
+
+func ceilDiv64(x, d int64) int64 {
+	return (x + d - 1) / d
+}
+
+func ceilDivBytes(x units.Bytes, d int) units.Bytes {
+	return (x + units.Bytes(d) - 1) / units.Bytes(d)
+}
+
 // Profile computes the per-stage profiles for cfg under part with
 // microbatches of b sequences.
 func Profile(cfg model.Config, part Partition, b int) []StageProfile {
@@ -95,7 +126,19 @@ func Profile(cfg model.Config, part Partition, b int) []StageProfile {
 // schedule's retention counts, retained stage inputs, and the runtime
 // reserve. This is the analytic model behind Table II and Fig. 2.
 func Demand(cfg model.Config, prec model.Precision, part Partition, kind ScheduleKind, b, microbatches int) []units.Bytes {
+	return DemandTP(cfg, prec, part, kind, b, microbatches, 1)
+}
+
+// DemandTP is Demand for one rank of a tensor-parallel group: stage
+// profiles are sharded t ways before the schedule's retention math.
+// t <= 1 is exactly Demand.
+func DemandTP(cfg model.Config, prec model.Precision, part Partition, kind ScheduleKind, b, microbatches, t int) []units.Bytes {
 	profiles := Profile(cfg, part, b)
+	if t > 1 {
+		for i := range profiles {
+			profiles[i] = profiles[i].Shard(t)
+		}
+	}
 	s := len(profiles)
 	out := make([]units.Bytes, s)
 	for i, sp := range profiles {

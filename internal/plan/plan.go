@@ -37,6 +37,7 @@ import (
 	"mpress/internal/exec"
 	"mpress/internal/fabric"
 	"mpress/internal/graph"
+	"mpress/internal/grid"
 	"mpress/internal/hw"
 	"mpress/internal/mapping"
 	"mpress/internal/pipeline"
@@ -149,6 +150,12 @@ type Plan struct {
 	Planned    units.Duration
 }
 
+// Device returns the plane GPU hosting stage s — the grid.Placement
+// view over the serialized Mapping slice, which stays the wire format.
+func (pl *Plan) Device(s int) hw.DeviceID {
+	return grid.Flat(pl.Mapping).GPU(s)
+}
+
 // planner carries the working state of one Compute call.
 type planner struct {
 	o       Options
@@ -192,11 +199,15 @@ func Compute(o Options) (*Plan, error) {
 	// Step 2: device mapping (Fig. 6).
 	if o.DisableMappingSearch || o.Topo.Switched {
 		identity := exec.IdentityMapping(p.built.NumStages())
-		p.mapRes = mapping.Search(o.Topo, p.profile.StagePeak)
+		if p.mapRes, err = mapping.Search(o.Topo, p.profile.StagePeak); err != nil {
+			return nil, err
+		}
 		p.mapRes.Mapping = identity
 		p.mapRes.Spare = spareFromPeaks(o.Topo, identity, p.profile.StagePeak)
 	} else {
-		p.mapRes = mapping.Search(o.Topo, p.profile.StagePeak)
+		if p.mapRes, err = mapping.Search(o.Topo, p.profile.StagePeak); err != nil {
+			return nil, err
+		}
 	}
 
 	p.slotOf = make(map[tensor.ID]pipeline.SlotKey)
@@ -609,7 +620,7 @@ func (p *planner) applyGroupD2D(stage, blk int) units.Bytes {
 	b := p.built
 	kind := b.Cfg.Kind
 	inflight := kind.InFlight(stage, b.NumStages(), b.Cfg.Microbatches)
-	src := p.plan.Mapping[stage]
+	src := p.plan.Device(stage)
 
 	// Every concurrently swapped-out instance occupies peer memory;
 	// budget one slot per in-flight copy and reuse the layouts

@@ -324,11 +324,11 @@ func (rc *refineCtx) lowerBound(pl *Plan) units.Duration {
 		switch pl.Act[id] {
 		case MechRecompute:
 			tn := p.built.Graph.Tensors.Get(id)
-			dev := pl.Mapping[tn.Stage]
+			dev := pl.Device(tn.Stage)
 			extra[dev] += compaction.RecomputeCost(p.built.RecomputeFLOPs[id], rc.rate)
 		case MechD2D:
 			tn := p.built.Graph.Tensors.Get(id)
-			src := pl.Mapping[tn.Stage]
+			src := pl.Device(tn.Stage)
 			if link == nil {
 				link = make(map[pair]units.Bytes)
 			}
@@ -378,9 +378,9 @@ func newRefineCtx(p *planner) *refineCtx {
 		op := g.Op(graph.OpID(i))
 		switch op.Kind {
 		case graph.Forward, graph.Backward:
-			rc.base[p.plan.Mapping[op.Stage]] += rc.rate.ComputeTime(op.FLOPs)
+			rc.base[p.plan.Device(op.Stage)] += rc.rate.ComputeTime(op.FLOPs)
 		case graph.OptimizerStep:
-			rc.base[p.plan.Mapping[op.Stage]] += p.o.Topo.GPU.HBM.TransferTime(op.MoveBytes)
+			rc.base[p.plan.Device(op.Stage)] += p.o.Topo.GPU.HBM.TransferTime(op.MoveBytes)
 		}
 	}
 	return rc
@@ -398,7 +398,7 @@ func (p *planner) convertToD2D(t *trial, key groupKey) bool {
 	}
 	b := p.built
 	inflight := b.Cfg.Kind.InFlight(key.Stage, b.NumStages(), b.Cfg.Microbatches)
-	src := t.plan.Mapping[key.Stage]
+	src := t.plan.Device(key.Stage)
 	size := b.Graph.Tensors.Get(ids[0]).Size
 
 	layouts := make([][]fabric.Part, 0, inflight)

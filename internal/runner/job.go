@@ -18,6 +18,7 @@ import (
 	"mpress/internal/chaos"
 	"mpress/internal/ckpt"
 	"mpress/internal/cluster"
+	"mpress/internal/grid"
 	"mpress/internal/hw"
 	"mpress/internal/memsim"
 	"mpress/internal/model"
@@ -117,6 +118,16 @@ type Config struct {
 	// knobs (only meaningful for the MPress systems).
 	DisableMappingSearch bool
 	DisableStriping      bool
+	// TPDegree shards every pipeline stage across a tensor-parallel
+	// group of this width, pinned inside one NVLink island (0 or 1 =
+	// off; see internal/grid). The simulator models the TP-rank-0
+	// representative of each group on a derived plane topology and
+	// charges the group's per-operator all-reduces on top. Incompatible
+	// with the ZeRO baselines and with resilient runs.
+	TPDegree int `json:",omitempty"`
+	// CPDegree is the context-parallel axis of the shard grid — a stub
+	// today: only 0/1 validates.
+	CPDegree int `json:",omitempty"`
 	// Cluster, when non-nil with Nodes > 1, scales the job out: each
 	// node runs one pipeline replica of this config (hybrid
 	// data+pipeline parallelism) and replicas synchronize gradients
@@ -147,6 +158,29 @@ type Config struct {
 
 // Resilient reports whether the job runs the fault/checkpoint replay.
 func (c Config) Resilient() bool { return c.Faults != nil || c.Checkpoint != nil }
+
+// TP returns the normalized tensor-parallel degree (>= 1).
+func (c Config) TP() int {
+	if c.TPDegree > 1 {
+		return c.TPDegree
+	}
+	return 1
+}
+
+// CP returns the normalized context-parallel degree (>= 1).
+func (c Config) CP() int {
+	if c.CPDegree > 1 {
+		return c.CPDegree
+	}
+	return 1
+}
+
+// Grid factors the job's device world into its 4D shard grid
+// (TP x PP x DP x CP) and derives the representative plane the
+// simulator runs on. At TP = CP = 1 the plane is Topology itself.
+func (c Config) Grid() (*grid.Grid, error) {
+	return grid.New(c.Topology, c.Replicas(), c.TP(), c.CP())
+}
 
 // Replicas returns the data-parallel replica count: the cluster's node
 // count, or 1 for single-server jobs.
@@ -191,8 +225,30 @@ func (c Config) WithDefaults() (Config, error) {
 	if err := c.Model.Validate(); err != nil {
 		return c, err
 	}
+	if c.TPDegree < 0 || c.CPDegree < 0 {
+		return c, fmt.Errorf("mpress: parallel degrees must be non-negative (tp=%d, cp=%d)", c.TPDegree, c.CPDegree)
+	}
+	// Degree 1 is the off state; normalize so fingerprints, JSON and
+	// reports render identically whether the caller wrote 0 or 1.
+	if c.TPDegree == 1 {
+		c.TPDegree = 0
+	}
+	if c.CPDegree == 1 {
+		c.CPDegree = 0
+	}
+	if c.TP()*c.CP() > 1 {
+		if c.System.IsZeRO() {
+			return c, fmt.Errorf("mpress: TPDegree is a pipeline-system axis; %v shards its own way", c.System)
+		}
+		if c.Resilient() {
+			return c, fmt.Errorf("mpress: TPDegree > 1 does not compose with fault injection or checkpointing yet")
+		}
+		if _, err := c.Grid(); err != nil {
+			return c, err
+		}
+	}
 	if c.Stages == 0 {
-		c.Stages = c.Topology.NumGPUs
+		c.Stages = c.Topology.NumGPUs / (c.TP() * c.CP())
 	}
 	if c.MicrobatchSize == 0 {
 		c.MicrobatchSize = 2
@@ -270,6 +326,12 @@ type Report struct {
 	// its collective count (zero for single-server jobs).
 	NICBytes   units.Bytes
 	AllReduces int64
+	// TPDegree echoes the tensor-parallel width of the run, and
+	// TPAllReduceBytes the NVLink traffic its per-operator collectives
+	// moved (group totals). Both absent for TP-free runs, keeping
+	// legacy reports byte-identical.
+	TPDegree         int         `json:",omitempty"`
+	TPAllReduceBytes units.Bytes `json:",omitempty"`
 	// Resilience accounting, populated only for resilient runs
 	// (Config.Resilient()). Duration above becomes the total resilient
 	// wall clock; SamplesPerSec/TFLOPS stay the ideal fault-free rates,
@@ -388,6 +450,12 @@ func canonical(c Config, withMinibatches, withCluster bool) string {
 		}
 	}
 	fmt.Fprintf(&b, "sys=%d;nomap=%v;nostripe=%v", int(c.System), c.DisableMappingSearch, c.DisableStriping)
+	if c.TP() > 1 || c.CP() > 1 {
+		// The shard grid reshapes the simulated plane, so it keys both
+		// the fingerprint and the plan; absent at degree 1 to keep
+		// legacy fingerprints stable.
+		fmt.Fprintf(&b, ";tp=%d;cp=%d", c.TP(), c.CP())
+	}
 	if withCluster && c.Replicas() > 1 {
 		f := c.Cluster.Net
 		fmt.Fprintf(&b, ";cluster=n%d/nic%d/bw%g/lat%d/buckets%d",

@@ -6,11 +6,14 @@ import (
 
 	"mpress/internal/cluster"
 	"mpress/internal/exec"
+	"mpress/internal/grid"
 	"mpress/internal/hw"
+	"mpress/internal/mapping"
 	"mpress/internal/pipeline"
 	"mpress/internal/plan"
 	"mpress/internal/sim"
 	"mpress/internal/trace"
+	"mpress/internal/units"
 	"mpress/internal/zero"
 )
 
@@ -27,6 +30,11 @@ const canonicalMinibatches = 2
 type State struct {
 	Job *Job
 
+	// Grid is the job's 4D shard grid (after Partition); Grid.Plane()
+	// is the topology every later stage simulates on. At TP = CP = 1
+	// the plane is Config.Topology itself, so legacy runs are
+	// untouched.
+	Grid *grid.Grid
 	// Part is the stage partition (after Partition).
 	Part pipeline.Partition
 	// Built is the lowered job at the job's own minibatch count
@@ -65,6 +73,22 @@ type State struct {
 	// stage hands to plan.Options.Workers (plans are byte-identical
 	// at any setting).
 	planWorkers int
+}
+
+// TraceLaneNames labels each stage lane of an exported trace with the
+// physical devices it stands for. Only tensor-parallel runs produce
+// names — each simulated lane is then a whole TP group, identified by
+// its rank-0 representative and group index (e.g. "n0/gpu2 tp1") —
+// so TP-free traces stay byte-identical to the pre-grid format.
+func (st *State) TraceLaneNames() []string {
+	if st.Grid == nil || st.Grid.Shape.TP <= 1 || len(st.Mapping) == 0 {
+		return nil
+	}
+	names := make([]string, len(st.Mapping))
+	for s, d := range st.Mapping {
+		names[s] = fmt.Sprintf("%s tp%d", st.Grid.Representative(d).On(0), int(d))
+	}
+	return names
 }
 
 // Stage is one composable step of the job pipeline.
@@ -112,14 +136,23 @@ func buildFn(c Config, part pipeline.Partition, minibatches int) func() (*pipeli
 			MicrobatchSize: c.MicrobatchSize,
 			Microbatches:   c.Microbatches,
 			Minibatches:    minibatches,
+			TP:             c.TPDegree,
 		})
 	}
 }
 
 func stagePartition(ctx context.Context, st *State) error {
 	c := st.Job.Config
-	if c.Stages > c.Topology.NumGPUs && c.System != SystemPlain {
-		return fmt.Errorf("mpress: virtual stages (Stages %d > %d GPUs) are only supported with SystemPlain", c.Stages, c.Topology.NumGPUs)
+	g, err := c.Grid()
+	if err != nil {
+		return err
+	}
+	st.Grid = g
+	if plane := g.Plane(); c.Stages > plane.NumGPUs && c.System != SystemPlain {
+		// Typed so service layers classify the infeasible placement as
+		// a caller mistake (HTTP 400) instead of a server fault.
+		return fmt.Errorf("mpress: virtual stages are only supported with SystemPlain: %w",
+			&mapping.InfeasibleError{Stages: c.Stages, GPUs: plane.NumGPUs})
 	}
 	part, err := pipeline.PartitionModel(c.Model, c.Stages, c.Strategy, c.Schedule,
 		*c.Precision, c.MicrobatchSize, c.Microbatches)
@@ -158,17 +191,18 @@ func allowedFor(s System) (plan.Allowed, error) {
 
 func stagePlan(ctx context.Context, st *State) error {
 	c := st.Job.Config
+	plane := st.Grid.Plane()
 	if c.System == SystemPlain {
-		// No planner: run the job as-is. More stages than GPUs become
-		// virtual pipeline stages, wrapped around the devices.
-		mapping := exec.IdentityMapping(c.Stages)
-		if c.Stages > c.Topology.NumGPUs {
+		// No planner: run the job as-is. More stages than plane devices
+		// become virtual pipeline stages, wrapped around the devices.
+		m := exec.IdentityMapping(c.Stages)
+		if c.Stages > plane.NumGPUs {
 			st.shared = true
-			for s := range mapping {
-				mapping[s] = hw.DeviceID(s % c.Topology.NumGPUs)
+			for s := range m {
+				m[s] = hw.DeviceID(s % plane.NumGPUs)
 			}
 		}
-		st.Mapping = mapping
+		st.Mapping = m
 		return nil
 	}
 
@@ -178,7 +212,7 @@ func stagePlan(ctx context.Context, st *State) error {
 	}
 	compute := func() (*plan.Plan, error) {
 		return plan.Compute(plan.Options{
-			Topo:                 c.Topology,
+			Topo:                 plane,
 			Build:                buildFn(c, st.Part, canonicalMinibatches),
 			Allowed:              allowed,
 			DisableMappingSearch: c.DisableMappingSearch,
@@ -212,18 +246,28 @@ func stagePlan(ctx context.Context, st *State) error {
 
 func stageApply(ctx context.Context, st *State) error {
 	c := st.Job.Config
+	plane := st.Grid.Plane()
 	if c.System == SystemPlain {
 		st.ExecOpts = &exec.Options{
-			Topo: c.Topology, Built: st.Built,
+			Topo: plane, Built: st.Built,
 			Mapping:            st.Mapping,
 			AllowSharedDevices: st.shared,
 		}
 	} else {
-		opts, err := plan.Apply(st.Plan, st.Built, c.Topology)
+		opts, err := plan.Apply(st.Plan, st.Built, plane)
 		if err != nil {
 			return err
 		}
 		st.ExecOpts = opts
+	}
+	if tp := st.Grid.Shape.TP; tp > 1 {
+		// Per-operator collectives run on the physical NVLink ring of
+		// each TP group (the plane only models inter-group links).
+		st.ExecOpts.TP = &exec.TPSpec{
+			Degree:  tp,
+			HopBW:   st.Grid.TPRingBandwidth(),
+			Latency: c.Topology.NVLinkLatency,
+		}
 	}
 	if c.Replicas() > 1 {
 		// Hybrid parallelism: by symmetry every node runs this same
@@ -319,22 +363,33 @@ func stageZeRO(ctx context.Context, st *State) error {
 	return nil
 }
 
-// reportFrom assembles the Report for a pipeline-system run.
-func reportFrom(c Config, res *exec.Result, pl *plan.Plan, mapping []hw.DeviceID, net *cluster.Net) *Report {
-	rep := &Report{Config: c, OOM: res.OOM, Plan: pl, Mapping: mapping, Replicas: c.Replicas()}
+// reportFrom assembles the Report for a pipeline-system run. The
+// executor modeled one TP-rank-0 representative per group, so scale
+// factor T expands plane quantities back to the full server: compute
+// and fabric traffic happened T times over, every group member's peak
+// equals its representative's, and the TP collectives' own traffic
+// (already a group total) is added on top. T = 1 reproduces the
+// pre-grid report bit for bit.
+func reportFrom(c Config, res *exec.Result, pl *plan.Plan, m []hw.DeviceID, net *cluster.Net) *Report {
+	rep := &Report{Config: c, OOM: res.OOM, Plan: pl, Mapping: m, Replicas: c.Replicas()}
 	rep.SimEvents = res.Events
+	rep.TPDegree = c.TPDegree
+	T := c.TP() * c.CP()
 	if res.OOM == nil {
 		rep.Duration = res.Duration
-		rep.TFLOPS = res.TFLOPS
+		rep.TFLOPS = res.TFLOPS * float64(T)
 		rep.SamplesPerSec = res.SamplesPerSec
-		rep.ClusterTFLOPS = res.TFLOPS * float64(rep.Replicas)
+		rep.ClusterTFLOPS = rep.TFLOPS * float64(rep.Replicas)
 		rep.ClusterSamplesPerSec = res.SamplesPerSec * float64(rep.Replicas)
-		rep.HostPeak = res.Host.Peak
-		rep.NVLinkBytes = res.Fabric.NVLinkBytes
-		rep.PCIeBytes = res.Fabric.PCIeBytes
-		rep.NVMeBytes = res.Fabric.NVMeBytes
+		rep.HostPeak = res.Host.Peak * units.Bytes(T)
+		rep.NVLinkBytes = res.Fabric.NVLinkBytes*units.Bytes(T) + res.TPAllReduceBytes
+		rep.PCIeBytes = res.Fabric.PCIeBytes * units.Bytes(T)
+		rep.NVMeBytes = res.Fabric.NVMeBytes * units.Bytes(T)
+		rep.TPAllReduceBytes = res.TPAllReduceBytes
 		for _, g := range res.GPUs {
-			rep.PerGPUPeak = append(rep.PerGPUPeak, g.Peak)
+			for t := 0; t < T; t++ {
+				rep.PerGPUPeak = append(rep.PerGPUPeak, g.Peak)
+			}
 		}
 		if net != nil {
 			st := net.Stats()

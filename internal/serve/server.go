@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mpress/internal/mapping"
 	"mpress/internal/runner"
 	"mpress/internal/serve/api"
 	"mpress/internal/trace"
@@ -326,7 +327,14 @@ func (s *Server) planOne(ctx context.Context, cfg runner.Config, retain bool) (*
 	res := s.runJob(ctx, j)
 	if res.Err != nil {
 		status := http.StatusUnprocessableEntity
-		if errors.Is(res.Err, context.DeadlineExceeded) {
+		var infeasible *mapping.InfeasibleError
+		if errors.As(res.Err, &infeasible) {
+			// More stages than devices is a malformed request, not a
+			// server fault — and historically a crash (the search used
+			// to panic), so the classification doubles as a regression
+			// guard.
+			status = http.StatusBadRequest
+		} else if errors.Is(res.Err, context.DeadlineExceeded) {
 			status = http.StatusGatewayTimeout
 		} else if errors.Is(res.Err, context.Canceled) {
 			status = http.StatusServiceUnavailable
@@ -344,6 +352,7 @@ func (s *Server) planOne(ctx context.Context, cfg runner.Config, retain bool) (*
 		tl := res.State.Timeline
 		if tl == nil {
 			tl = trace.Collect(res.State.Built, res.State.Exec)
+			tl.LaneNames = res.State.TraceLaneNames()
 		}
 		failures := 0
 		if res.Report != nil {

@@ -393,6 +393,37 @@ func TestBadRequests(t *testing.T) {
 	cl.HTTPClient.CloseIdleConnections()
 }
 
+// TestInfeasibleMappingIs400 is the regression test for the crash this
+// used to be: a config that survives validation but has no feasible
+// stage→GPU mapping (8 pipeline stages on the 4-GPU plane a TPDegree=2
+// grid leaves) made mapping.Search panic inside the worker. It must
+// now surface as a 400 with the infeasibility spelled out, and the
+// daemon must keep serving afterwards.
+func TestInfeasibleMappingIs400(t *testing.T) {
+	s := New(Options{Runner: runner.Options{Workers: 1}, Logger: testLogger(t)})
+	cl, cancel, wait := startDaemon(t, s)
+	defer func() { cancel(); _ = wait() }()
+
+	cfg := testConfig(t, runner.SystemMPress)
+	cfg.TPDegree = 2
+	cfg.Stages = 8 // plane is 8/2 = 4 GPUs wide
+	_, err := cl.Plan(context.Background(), cfg, "")
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("infeasible mapping error = %v, want HTTP 400", err)
+	}
+	if !strings.Contains(apiErr.Message, "stage") {
+		t.Errorf("error message %q does not name the infeasibility", apiErr.Message)
+	}
+
+	// The worker survived the infeasible job: a sane config still plans.
+	resp, err := cl.Plan(context.Background(), testConfig(t, runner.SystemMPress), "")
+	if err != nil || resp.Report == nil || resp.Report.Failed() {
+		t.Fatalf("daemon unhealthy after infeasible job: resp=%+v err=%v", resp, err)
+	}
+	cl.HTTPClient.CloseIdleConnections()
+}
+
 // TestMetricsFormat sanity-checks the Prometheus text exposition:
 // counters and histograms render with sorted, stable label sets.
 func TestMetricsFormat(t *testing.T) {

@@ -6,17 +6,49 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"regexp"
 	"testing"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden trace file from the current output")
 
-const goldenPath = "testdata/tiny.trace.json"
+const (
+	goldenPath   = "testdata/tiny.trace.json"
+	tpGoldenPath = "testdata/tiny_tp.trace.json"
+)
+
+// tpLaneNames is the lane naming a TPDegree=2-style run attaches to
+// the tiny 4-stage timeline: each simulated lane stands for one TP
+// group, named by its representative device.
+var tpLaneNames = []string{"n0/gpu0 tp0", "n0/gpu2 tp1", "n0/gpu4 tp2", "n0/gpu6 tp3"}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten: %s (%d bytes)", path, len(got))
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (generate with: go test ./internal/trace -run Golden -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace output drifted from %s (%d bytes vs %d); "+
+			"if intentional, regenerate with -update", path, len(got), len(want))
+	}
+}
 
 // TestChromeTraceGolden pins the Chrome trace-event JSON byte-for-byte
 // over a small deterministic run — the trace file is an external
 // artifact (chrome://tracing, Perfetto), so format drift must be a
 // deliberate, reviewed change (`go test ./internal/trace -update`).
+// Without LaneNames (every TPDegree=1 run) the bytes are pinned to the
+// pre-grid format exactly.
 func TestChromeTraceGolden(t *testing.T) {
 	b, res := runTiny(t)
 	tl := Collect(b, res)
@@ -24,32 +56,65 @@ func TestChromeTraceGolden(t *testing.T) {
 	if err := tl.WriteChrome(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if *updateGolden {
-		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("golden file rewritten: %s (%d bytes)", goldenPath, buf.Len())
+	checkGolden(t, goldenPath, buf.Bytes())
+}
+
+// TestChromeTraceTPGolden pins the tensor-parallel variant: the same
+// run with TP-group lane names attached. The only permitted difference
+// from the plain golden is a prefix of phase-M process_name metadata
+// events — the span events themselves must remain byte-identical.
+func TestChromeTraceTPGolden(t *testing.T) {
+	b, res := runTiny(t)
+	tl := Collect(b, res)
+	tl.LaneNames = tpLaneNames
+	var buf bytes.Buffer
+	if err := tl.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
 	}
-	want, err := os.ReadFile(goldenPath)
+	checkGolden(t, tpGoldenPath, buf.Bytes())
+
+	// Span-event parity: stripping the metadata events (and the plain
+	// golden's wrapper) leaves the exact same X-event payload.
+	plain, err := os.ReadFile(goldenPath)
 	if err != nil {
-		t.Fatalf("%v (generate with: go test ./internal/trace -run Golden -update)", err)
+		t.Fatal(err)
 	}
-	if !bytes.Equal(buf.Bytes(), want) {
-		t.Fatalf("trace output drifted from golden file (%d bytes vs %d); "+
-			"if intentional, regenerate with -update", buf.Len(), len(want))
+	const xPrefix = `{"name":"F:s0:mb0"` // first span event in both files
+	i, j := bytes.Index(buf.Bytes(), []byte(xPrefix)), bytes.Index(plain, []byte(xPrefix))
+	if i < 0 || j < 0 {
+		t.Fatal("span events not found in trace output")
+	}
+	if !bytes.Equal(buf.Bytes()[i:], plain[j:]) {
+		t.Error("TP lane naming changed the span events, not just the metadata prefix")
 	}
 }
 
-// TestChromeTracePerfettoCompatible validates the golden file against
-// the trace-event contract Perfetto's importer relies on: every event
-// is a complete ("X") span with non-negative ts/dur, pid is the stage
-// lane, tid a per-stage track, and events are time-ordered within each
-// (pid, tid) track.
+// laneNameRE is the TP lane-name contract: representative device plus
+// the plane lane index, e.g. "n0/gpu2 tp1".
+var laneNameRE = regexp.MustCompile(`^n\d+/gpu\d+ tp\d+$`)
+
+// TestChromeTracePerfettoCompatible validates both golden files
+// against the trace-event contract Perfetto's importer relies on:
+// metadata is limited to a leading block of "M" process_name records
+// with well-formed lane names; every other event is a complete ("X")
+// span with non-negative ts/dur, pid is the stage lane, tid a
+// per-stage track, and events are time-ordered within each (pid, tid)
+// track.
 func TestChromeTracePerfettoCompatible(t *testing.T) {
-	raw, err := os.ReadFile(goldenPath)
+	for _, tc := range []struct {
+		path      string
+		wantLanes int
+	}{
+		{goldenPath, 0},
+		{tpGoldenPath, 4},
+	} {
+		checkPerfettoContract(t, tc.path, tc.wantLanes)
+	}
+}
+
+func checkPerfettoContract(t *testing.T, path string, wantLanes int) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("%v (generate with: go test ./internal/trace -run Golden -update)", err)
 	}
@@ -66,39 +131,64 @@ func TestChromeTracePerfettoCompatible(t *testing.T) {
 		} `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
-		t.Fatalf("golden trace is not valid JSON: %v", err)
+		t.Fatalf("%s: golden trace is not valid JSON: %v", path, err)
 	}
 	if len(doc.TraceEvents) == 0 {
-		t.Fatal("golden trace has no events")
+		t.Fatalf("%s: golden trace has no events", path)
 	}
 	type track struct{ pid, tid int }
 	lastTs := map[track]float64{}
+	lanes := map[int]string{}
+	sawSpan := false
 	for i, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			// Lane-name metadata: only process_name records, only before
+			// the span events, one per pid, names matching the TP form.
+			if sawSpan {
+				t.Fatalf("%s: event %d: metadata after span events", path, i)
+			}
+			if e.Name != "process_name" || e.Pid == nil {
+				t.Fatalf("%s: event %d: malformed metadata %+v", path, i, e)
+			}
+			name := e.Args["name"]
+			if !laneNameRE.MatchString(name) {
+				t.Fatalf("%s: event %d: lane name %q does not match %v", path, i, name, laneNameRE)
+			}
+			if prev, dup := lanes[*e.Pid]; dup {
+				t.Fatalf("%s: event %d: pid %d named twice (%q, %q)", path, i, *e.Pid, prev, name)
+			}
+			lanes[*e.Pid] = name
+			continue
+		}
+		sawSpan = true
 		if e.Ph != "X" {
-			t.Fatalf("event %d: phase %q, want complete spans", i, e.Ph)
+			t.Fatalf("%s: event %d: phase %q, want complete spans", path, i, e.Ph)
 		}
 		if e.Name == "" || e.Cat == "" {
-			t.Fatalf("event %d: missing name/cat", i)
+			t.Fatalf("%s: event %d: missing name/cat", path, i)
 		}
 		if e.Ts == nil || e.Dur == nil || e.Pid == nil || e.Tid == nil {
-			t.Fatalf("event %d (%s): missing ts/dur/pid/tid", i, e.Name)
+			t.Fatalf("%s: event %d (%s): missing ts/dur/pid/tid", path, i, e.Name)
 		}
 		if *e.Ts < 0 || *e.Dur < 0 {
-			t.Fatalf("event %d (%s): negative ts/dur %g/%g", i, e.Name, *e.Ts, *e.Dur)
+			t.Fatalf("%s: event %d (%s): negative ts/dur %g/%g", path, i, e.Name, *e.Ts, *e.Dur)
 		}
 		if *e.Pid < 0 || *e.Pid >= 4 {
-			t.Fatalf("event %d (%s): pid %d outside the 4-stage run", i, e.Name, *e.Pid)
+			t.Fatalf("%s: event %d (%s): pid %d outside the 4-stage run", path, i, e.Name, *e.Pid)
 		}
 		if e.Args["microbatch"] == "" {
-			t.Fatalf("event %d (%s): missing microbatch arg", i, e.Name)
+			t.Fatalf("%s: event %d (%s): missing microbatch arg", path, i, e.Name)
 		}
 		// Perfetto renders each (pid, tid) as one track; our writer
 		// emits tracks in nondecreasing ts order so spans nest cleanly.
 		k := track{*e.Pid, *e.Tid}
 		if prev, ok := lastTs[k]; ok && *e.Ts < prev {
-			t.Fatalf("event %d (%s): ts %g goes backwards on track %+v (prev %g)",
-				i, e.Name, *e.Ts, k, prev)
+			t.Fatalf("%s: event %d (%s): ts %g goes backwards on track %+v (prev %g)",
+				path, i, e.Name, *e.Ts, k, prev)
 		}
 		lastTs[k] = *e.Ts
+	}
+	if len(lanes) != wantLanes {
+		t.Fatalf("%s: %d named lanes, want %d", path, len(lanes), wantLanes)
 	}
 }

@@ -41,6 +41,13 @@ type Timeline struct {
 	Span units.Duration
 	// Stages is the stage count (number of lanes).
 	Stages int
+	// LaneNames, when set, names stage lanes in exported traces (one
+	// entry per stage; Perfetto renders it as the process name). Used
+	// by tensor-parallel runs to spell out which physical device group
+	// each simulated lane stands for, e.g. "n0/gpu2 tp1". Empty lanes
+	// and a nil slice emit nothing, keeping legacy traces byte-
+	// identical.
+	LaneNames []string
 }
 
 // Collect extracts the timeline from an executed run. Zero-length
@@ -151,6 +158,18 @@ func lane(k graph.OpKind) (tid int, track string) {
 // WriteChrome writes the timeline as Chrome trace-event JSON.
 func (t *Timeline) WriteChrome(w io.Writer) error {
 	var evs []chromeEvent
+	for s, name := range t.LaneNames {
+		if name == "" {
+			continue
+		}
+		// Phase-M metadata names the pid's row group (one per stage).
+		evs = append(evs, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  s,
+			Args: map[string]string{"name": name},
+		})
+	}
 	for _, e := range t.Events {
 		tid, track := lane(e.Kind)
 		evs = append(evs, chromeEvent{
