@@ -1,14 +1,21 @@
 GO ?= go
 
-.PHONY: check build test race fmt vet vet-grid smoke bench benchcheck profile
+.PHONY: check build test race fmt vet vet-grid smoke fleet-smoke bench benchcheck profile
 
-check: fmt vet vet-grid build race benchcheck
+check: fmt vet vet-grid build race benchcheck fleet-smoke
 
 # Run every example binary end to end; each must exit 0.
 smoke:
 	@set -e; for d in examples/*/; do \
 		echo "== go run ./$$d"; $(GO) run ./$$d; \
 	done
+
+# Fleet acceptance: boot a 3-peer in-process fleet, push 200 mixed
+# requests through the ring-aware client, require byte-identical plans
+# vs local runner.Train, exactly-once planning for a 64-request burst,
+# and zero goroutine leaks on drain.
+fleet-smoke:
+	$(GO) test -run 'TestFleet' -count=1 ./internal/serve/
 
 # Performance trajectory: Go micro-benchmarks plus the scaling,
 # resilience and planner experiments, each writing machine-readable

@@ -12,6 +12,13 @@
 // text). A full queue answers 429 with Retry-After; SIGINT/SIGTERM
 // drain in-flight jobs before exit. See the README section "Running
 // mpressd".
+//
+// Fleet mode: -peers lists every daemon of a planning fleet (including
+// this one) and turns the process into one peer of a coordinated tier —
+// requests route to their consistent-hash owner, popular jobs plan once
+// fleet-wide, and computed plans are shared over /v1/cache. All peers
+// must run the identical -peers list and -cache-epoch. See the README
+// section "Running a fleet".
 package main
 
 import (
@@ -21,9 +28,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"mpress/internal/fleet"
 	"mpress/internal/runner"
 	"mpress/internal/serve"
 )
@@ -38,7 +47,24 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "cap on client-requested deadlines")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain bound")
+	peers := flag.String("peers", "", "comma-separated base URLs of every fleet peer (empty: standalone)")
+	self := flag.String("self", "", "this daemon's own base URL in -peers (default http://<addr>)")
+	epoch := flag.String("cache-epoch", "", "fleet cache-invalidation epoch; bump to drop all cross-peer plan sharing from older epochs")
 	flag.Parse()
+
+	var fl *fleet.Fleet
+	if *peers != "" {
+		selfURL := *self
+		if selfURL == "" {
+			selfURL = "http://" + *addr
+		}
+		var err error
+		fl, err = fleet.New(selfURL, strings.Split(*peers, ","), *epoch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpressd: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	srv := serve.New(serve.Options{
 		Runner: runner.Options{
@@ -51,6 +77,7 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		RetainJobs:     *retain,
 		DrainTimeout:   *drain,
+		Fleet:          fl,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -61,6 +88,10 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if fl != nil {
+		fmt.Fprintf(os.Stderr, "mpressd: fleet peer %s of %d (cache version %s)\n",
+			fl.Self(), fl.Size(), fl.Version())
+	}
 	fmt.Fprintf(os.Stderr, "mpressd: listening on http://%s (workers=%d queue=%d)\n",
 		ln.Addr(), srv.Runner().Workers(), *queue)
 	if err := srv.Serve(ctx, ln); err != nil {

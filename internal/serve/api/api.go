@@ -22,7 +22,79 @@ const (
 	PathJobs    = "/v1/jobs"
 	PathHealthz = "/healthz"
 	PathMetrics = "/metrics"
+	// PathCache is the fleet plan-cache tier: GET /v1/cache/{key}
+	// serves the canonical plan bytes cached under a plan-key
+	// fingerprint, PUT stores them. Peers exchange entries only when
+	// their X-MPress-Cache-Version headers agree.
+	PathCache = "/v1/cache"
 )
+
+// Fleet headers.
+const (
+	// HeaderForwarded marks a request already forwarded once by a
+	// fleet peer (value: the forwarding peer's base URL). A receiving
+	// daemon never forwards such a request again — the one-hop guard
+	// that makes routing loops impossible even when peers disagree
+	// about membership.
+	HeaderForwarded = "X-MPress-Forwarded"
+	// HeaderHedge marks a client's hedge (the backup request sent to
+	// the next ring peer after the p99-derived delay), so daemons can
+	// count hedge traffic separately.
+	HeaderHedge = "X-MPress-Hedge"
+	// HeaderCacheVersion carries the sender's fleet cache version on
+	// cache-tier requests; the receiver refuses on mismatch (412).
+	HeaderCacheVersion = "X-MPress-Cache-Version"
+)
+
+// Machine-readable error codes carried by Error.Code. Clients switch
+// on these instead of parsing messages or bare status codes.
+const (
+	// CodeBadRequest: the request itself is malformed (bad JSON, bad
+	// timeout string, invalid config, infeasible placement).
+	CodeBadRequest = "bad_request"
+	// CodeSaturated: admission control shed the request (429); back
+	// off RetryAfter and resubmit.
+	CodeSaturated = "saturated"
+	// CodeDeadline: the job exceeded its server-side deadline (504).
+	CodeDeadline = "deadline"
+	// CodeUnavailable: the daemon is draining or the job was cancelled
+	// server-side (503).
+	CodeUnavailable = "unavailable"
+	// CodeNotFound: the named job or cache entry is unknown (404).
+	CodeNotFound = "not_found"
+	// CodeJobFailed: the job ran and failed (422) — e.g. the planner
+	// could not produce a plan.
+	CodeJobFailed = "job_failed"
+	// CodeCacheVersion: a cache-tier exchange was refused because the
+	// peers' fleet cache versions disagree (412).
+	CodeCacheVersion = "cache_version"
+	// CodeInternal: a server-side fault (5xx not otherwise classified).
+	CodeInternal = "internal"
+)
+
+// CodeForStatus maps an HTTP status to its default error code — used
+// by the server for errors with no more specific classification and by
+// the client for responses (proxies, old daemons) that carry none.
+func CodeForStatus(status int) string {
+	switch status {
+	case 400:
+		return CodeBadRequest
+	case 404:
+		return CodeNotFound
+	case 412:
+		return CodeCacheVersion
+	case 422:
+		return CodeJobFailed
+	case 429:
+		return CodeSaturated
+	case 503:
+		return CodeUnavailable
+	case 504:
+		return CodeDeadline
+	default:
+		return CodeInternal
+	}
+}
 
 // PlanRequest submits one training job for planning and simulation.
 type PlanRequest struct {
@@ -125,9 +197,11 @@ type JobsResponse struct {
 
 // Error is the JSON error body every non-2xx response carries.
 type Error struct {
-	// Status is the HTTP status code, Message the human-readable
-	// cause.
+	// Status is the HTTP status code, Code the machine-readable
+	// classification (one of the Code* constants), Message the
+	// human-readable cause.
 	Status  int    `json:"status"`
+	Code    string `json:"code,omitempty"`
 	Message string `json:"message"`
 	// RetryAfter, on 429 responses, echoes the Retry-After header.
 	RetryAfter string `json:"retry_after,omitempty"`
@@ -136,12 +210,24 @@ type Error struct {
 // Error implements the error interface so clients can surface the
 // server's cause directly.
 func (e *Error) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("mpressd: %d %s: %s", e.Status, e.Code, e.Message)
+	}
 	return fmt.Sprintf("mpressd: %d: %s", e.Status, e.Message)
 }
 
 // IsSaturated reports whether the error is an admission rejection —
 // the caller should back off RetryAfterDuration and resubmit.
-func (e *Error) IsSaturated() bool { return e.Status == 429 }
+func (e *Error) IsSaturated() bool { return e.Code == CodeSaturated || e.Status == 429 }
+
+// IsDeadline reports whether the job exceeded its server-side
+// deadline — retrying with a longer timeout may succeed; retrying with
+// the same one will not.
+func (e *Error) IsDeadline() bool { return e.Code == CodeDeadline || e.Status == 504 }
+
+// IsUnavailable reports a transient server condition (draining,
+// cancelled): the request is safe to retry against another peer.
+func (e *Error) IsUnavailable() bool { return e.Code == CodeUnavailable || e.Status == 503 }
 
 // RetryAfterDuration parses the RetryAfter hint, defaulting to one
 // second.

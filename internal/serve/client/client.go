@@ -10,9 +10,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"mpress/internal/runner"
@@ -27,11 +29,74 @@ type Client struct {
 	// bounds jobs server-side; set a Timeout here only above the
 	// longest job you expect, or rely on the request context.
 	HTTPClient *http.Client
+	// RetrySeed seeds PlanWait's deterministic backoff jitter. Zero
+	// derives a per-client seed (distinct across Client instances in a
+	// process), so a herd of default clients de-synchronizes by
+	// construction; set it explicitly for reproducible schedules.
+	RetrySeed uint64
+	// RetryBackoffCap caps PlanWait's exponential backoff between
+	// resubmissions. Zero means 30s.
+	RetryBackoffCap time.Duration
 }
+
+// clientSeq makes default retry seeds distinct per Client instance.
+var clientSeq atomic.Uint64
 
 // New returns a client for the daemon at baseURL.
 func New(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// retrySeed resolves the jitter seed: explicit, else unique-ish per
+// client instance (URL hash mixed with an instance counter).
+func (c *Client) retrySeed() uint64 {
+	if c.RetrySeed != 0 {
+		return c.RetrySeed
+	}
+	h := fnv.New64a()
+	h.Write([]byte(c.BaseURL))
+	return splitmix64(h.Sum64() ^ (clientSeq.Add(1) << 32))
+}
+
+// retryBackoffCap resolves the backoff ceiling.
+func (c *Client) retryBackoffCap() time.Duration {
+	if c.RetryBackoffCap > 0 {
+		return c.RetryBackoffCap
+	}
+	return 30 * time.Second
+}
+
+// splitmix64 is the jitter PRNG step — tiny, seedable, and identical
+// everywhere, so retry schedules are reproducible from the seed alone.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// retryDelay computes the wait before resubmission attempt (0-based):
+// the server's Retry-After hint grown exponentially per attempt,
+// capped, then scaled by a deterministic ±20% jitter drawn from
+// (seed, attempt). Re-polling on exactly the server hint synchronizes
+// every rejected waiter into a thundering herd that re-arrives — and
+// is re-rejected — together; the jitter spreads the herd, and the
+// exponential growth keeps long outages from being polled at the
+// original rate forever.
+func retryDelay(seed uint64, attempt int, base, cap time.Duration) time.Duration {
+	if base <= 0 {
+		base = time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	// jitter in [0.8, 1.2): 1 + (u - 0.5) * 0.4
+	u := float64(splitmix64(seed^uint64(attempt)*0x2545f4914f6cdd1d)>>11) / float64(1<<53)
+	return time.Duration(float64(d) * (1 + (u-0.5)*0.4))
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -46,27 +111,42 @@ func (c *Client) httpClient() *http.Client {
 // Retry-After hint; timeout is the server-side bound ("" for the
 // daemon default).
 func (c *Client) Plan(ctx context.Context, cfg runner.Config, timeout string) (*api.PlanResponse, error) {
+	return c.plan(ctx, cfg, timeout, false)
+}
+
+// plan is Plan with the hedge marker controllable — the fleet client's
+// backup requests carry it so daemons can account hedge traffic.
+func (c *Client) plan(ctx context.Context, cfg runner.Config, timeout string, hedge bool) (*api.PlanResponse, error) {
+	var hdr http.Header
+	if hedge {
+		hdr = http.Header{api.HeaderHedge: []string{"1"}}
+	}
 	var resp api.PlanResponse
-	err := c.post(ctx, api.PathPlan, api.PlanRequest{Config: cfg, Timeout: timeout}, &resp)
+	err := c.post(ctx, api.PathPlan, api.PlanRequest{Config: cfg, Timeout: timeout}, &resp, hdr)
 	if err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// PlanWait is Plan with bounded backoff: on saturation it honors the
-// daemon's Retry-After hint and resubmits until ctx expires.
+// PlanWait is Plan with bounded backoff: on saturation it resubmits
+// until ctx expires, waiting the server's Retry-After hint grown
+// exponentially (capped at RetryBackoffCap) and scaled by a ±20%
+// deterministic jitter, so a herd of waiters rejected together
+// de-synchronizes instead of re-arriving in lockstep.
 func (c *Client) PlanWait(ctx context.Context, cfg runner.Config, timeout string) (*api.PlanResponse, error) {
-	for {
+	seed := c.retrySeed()
+	for attempt := 0; ; attempt++ {
 		resp, err := c.Plan(ctx, cfg, timeout)
 		var apiErr *api.Error
 		if err == nil || !errors.As(err, &apiErr) || !apiErr.IsSaturated() {
 			return resp, err
 		}
+		wait := retryDelay(seed, attempt, apiErr.RetryAfterDuration(), c.retryBackoffCap())
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("client: gave up waiting for admission: %w (last: %v)", ctx.Err(), err)
-		case <-time.After(apiErr.RetryAfterDuration()):
+		case <-time.After(wait):
 		}
 	}
 }
@@ -116,7 +196,7 @@ func (c *Client) Healthy(ctx context.Context) error {
 	return c.get(ctx, api.PathHealthz, &status)
 }
 
-func (c *Client) post(ctx context.Context, path string, body, out any) error {
+func (c *Client) post(ctx context.Context, path string, body, out any, extra ...http.Header) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("client: encode request: %w", err)
@@ -126,6 +206,13 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	for _, h := range extra {
+		for k, vs := range h {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
+		}
+	}
 	return c.do(req, out)
 }
 
@@ -153,7 +240,10 @@ func (c *Client) do(req *http.Request, out any) error {
 }
 
 // decodeError turns a non-200 response into an *api.Error, falling
-// back to the raw body for non-JSON failures (proxies, panics).
+// back to the raw body for non-JSON failures (proxies, panics). The
+// error is always typed: a missing Code (old daemons, intermediaries)
+// is derived from the status, so callers can switch on Code
+// unconditionally.
 func decodeError(res *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(res.Body, 64<<10))
 	var apiErr api.Error
@@ -162,7 +252,11 @@ func decodeError(res *http.Response) error {
 		if apiErr.RetryAfter == "" {
 			apiErr.RetryAfter = res.Header.Get("Retry-After")
 		}
-		return &apiErr
+	} else {
+		apiErr = api.Error{Status: res.StatusCode, Message: strings.TrimSpace(string(body))}
 	}
-	return &api.Error{Status: res.StatusCode, Message: strings.TrimSpace(string(body))}
+	if apiErr.Code == "" {
+		apiErr.Code = api.CodeForStatus(res.StatusCode)
+	}
+	return &apiErr
 }

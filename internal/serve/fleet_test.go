@@ -1,0 +1,618 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"mpress/internal/fleet"
+	"mpress/internal/hw"
+	"mpress/internal/model"
+	"mpress/internal/pipeline"
+	"mpress/internal/runner"
+	"mpress/internal/serve/api"
+	"mpress/internal/serve/client"
+)
+
+// testFleet is a local n-peer planning fleet: every peer serves on a
+// loopback listener and shares the same membership view.
+type testFleet struct {
+	servers []*Server
+	urls    []string
+	cancels []context.CancelFunc
+	waits   []func() error
+}
+
+// startFleet boots n mpressd peers with a shared membership. Listeners
+// are created first so every peer's fleet view can name the final URLs.
+func startFleet(t *testing.T, n int, epoch string) *testFleet {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	tf := &testFleet{urls: urls}
+	for i := 0; i < n; i++ {
+		fl, err := fleet.New(urls[i], urls, epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(Options{
+			Runner:     runner.Options{Workers: 2},
+			QueueDepth: 128,
+			Fleet:      fl,
+			Logger:     testLogger(t),
+		})
+		ctx, cancel := context.WithCancel(context.Background())
+		errc := make(chan error, 1)
+		go func(s *Server, ln net.Listener) { errc <- s.Serve(ctx, ln) }(s, lns[i])
+		tf.servers = append(tf.servers, s)
+		tf.cancels = append(tf.cancels, cancel)
+		tf.waits = append(tf.waits, func() error { return <-errc })
+	}
+	return tf
+}
+
+// shutdown drains every peer and reports serve errors.
+func (tf *testFleet) shutdown(t *testing.T) {
+	t.Helper()
+	for _, cancel := range tf.cancels {
+		cancel()
+	}
+	for i, wait := range tf.waits {
+		if err := wait(); err != nil {
+			t.Errorf("peer %d serve exit: %v", i, err)
+		}
+	}
+}
+
+// peerClient returns a plain single-peer client for one fleet member.
+func (tf *testFleet) peerClient(i int) *client.Client {
+	cl := client.New(tf.urls[i])
+	cl.HTTPClient = &http.Client{Transport: &http.Transport{}}
+	return cl
+}
+
+// smokeConfigs is the mixed job set the fleet smoke pushes: two Bert
+// sizes, planning and non-planning systems, varied minibatch counts —
+// distinct fingerprints, some sharing plan keys.
+func smokeConfigs(t *testing.T) []runner.Config {
+	t.Helper()
+	m35, err := model.BertVariant("0.35B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runner.Config{
+		Topology:       hw.DGX1(),
+		Model:          m35,
+		Schedule:       pipeline.PipeDream,
+		System:         runner.SystemMPress,
+		MicrobatchSize: 12,
+	}
+	var cfgs []runner.Config
+	for _, mb := range []int{2, 3, 4} {
+		c := base
+		c.Minibatches = mb
+		cfgs = append(cfgs, c)
+	}
+	rec := base
+	rec.System = runner.SystemRecompute
+	cfgs = append(cfgs, rec)
+	swp := base
+	swp.System = runner.SystemGPUCPUSwap
+	swp.Minibatches = 3
+	cfgs = append(cfgs, swp)
+	zero := base
+	zero.System = runner.SystemZeRO3 // plans nothing: exercises the no-plan path
+	cfgs = append(cfgs, zero)
+	return cfgs
+}
+
+// localCanonicalPlans precomputes, for each config, the plan.Save
+// bytes an in-process runner.Train produces — the byte-parity oracle.
+func localCanonicalPlans(t *testing.T, cfgs []runner.Config) [][]byte {
+	t.Helper()
+	out := make([][]byte, len(cfgs))
+	for i, cfg := range cfgs {
+		rep, err := runner.Train(cfg)
+		if err != nil {
+			t.Fatalf("local train %d: %v", i, err)
+		}
+		if rep.Plan == nil {
+			continue // non-planning system
+		}
+		j, err := runner.NewJob(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := j.SavePlan(&buf, rep.Plan); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = buf.Bytes()
+	}
+	return out
+}
+
+// metricValue extracts one un-labelled metric's value from a scrape.
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		var v float64
+		if _, err := fmt.Sscanf(line, name+" %f", &v); err == nil {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}
+
+// TestFleetSmoke is the acceptance run behind `make fleet-smoke`: a
+// 3-peer fleet serves 200 mixed requests through the ring-aware
+// client; every plan that comes back is byte-identical to a local
+// runner.Train, requests demonstrably crossed peers, and the fleet
+// drains without leaking a goroutine.
+func TestFleetSmoke(t *testing.T) {
+	base := runtime.NumGoroutine()
+	tf := startFleet(t, 3, "e1")
+
+	cfgs := smokeConfigs(t)
+	want := localCanonicalPlans(t, cfgs)
+
+	fc, err := client.NewFleet(tf.urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.DisableHedging = true // hedging has its own test; keep load deterministic
+
+	// 200 requests, skewed toward the first configs (a Zipf-flavored
+	// mix: popular jobs dominate, the tail still appears).
+	const requests = 200
+	picks := make([]int, requests)
+	rng := uint64(0x6d70)
+	for i := range picks {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		r := rng % 100
+		switch {
+		case r < 45:
+			picks[i] = 0
+		case r < 70:
+			picks[i] = 1
+		case r < 82:
+			picks[i] = 2
+		case r < 90:
+			picks[i] = 3
+		case r < 96:
+			picks[i] = 4
+		default:
+			picks[i] = 5
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, requests)
+	sem := make(chan struct{}, 6)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := cfgs[picks[i]]
+			resp, err := fc.PlanWait(context.Background(), cfg, "")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if want[picks[i]] == nil {
+				if len(resp.Plan) != 0 {
+					errs[i] = fmt.Errorf("config %d: unexpected plan", picks[i])
+				}
+				return
+			}
+			got, err := resp.CanonicalPlanFile()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !bytes.Equal(got, want[picks[i]]) {
+				errs[i] = fmt.Errorf("config %d: plan differs from local (%d vs %d bytes)",
+					picks[i], len(got), len(want[picks[i]]))
+			}
+		}(i)
+	}
+	wg.Wait()
+	failed := 0
+	for i, err := range errs {
+		if err != nil {
+			failed++
+			if failed <= 3 {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}
+	}
+	if failed > 0 {
+		t.Fatalf("%d/%d requests failed or diverged", failed, requests)
+	}
+
+	// The fleet actually behaved as a fleet: with 6 fingerprints spread
+	// over 3 owners and the client routing directly, every peer served
+	// traffic; cross-peer machinery (forwarding or the cache tier) is
+	// exercised by the owner-side cache pushes.
+	st := fc.Stats()
+	if st.Requests != requests {
+		t.Errorf("client counted %d requests, want %d", st.Requests, requests)
+	}
+	if len(st.PerPeer) < 2 {
+		t.Errorf("all traffic went to one peer: %+v", st.PerPeer)
+	}
+
+	var computes int64
+	for _, s := range tf.servers {
+		computes += s.runner.Stats().PlanComputes
+	}
+	// 5 planning configs share 2 distinct plan keys per system family;
+	// whatever the exact dedup, the fleet must not have planned per
+	// request.
+	if computes >= requests/2 {
+		t.Errorf("fleet ran %d planner searches for %d requests — caching is off", computes, requests)
+	}
+
+	fc.CloseIdleConnections()
+	tf.shutdown(t)
+	waitGoroutines(t, base)
+}
+
+// TestFleetBurstSingleflight is the popular-fingerprint acceptance
+// check: 64 concurrent requests for ONE fingerprint against 3 peers
+// compute the plan exactly once fleet-wide, and every caller gets the
+// same bytes.
+func TestFleetBurstSingleflight(t *testing.T) {
+	base := runtime.NumGoroutine()
+	tf := startFleet(t, 3, "e1")
+
+	cfg := smokeConfigs(t)[0]
+	fc, err := client.NewFleet(tf.urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.DisableHedging = true
+
+	const burst = 64
+	var wg sync.WaitGroup
+	plans := make([][]byte, burst)
+	errs := make([]error, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// A third of the burst hits non-owner peers directly, so the
+			// collapse must survive the forwarding path too.
+			var resp *api.PlanResponse
+			var err error
+			if i%3 == 0 {
+				resp, err = tf.peerClient(i%len(tf.urls)).Plan(context.Background(), cfg, "")
+			} else {
+				resp, err = fc.Plan(context.Background(), cfg, "")
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			plans[i], errs[i] = resp.CanonicalPlanFile()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("burst request %d: %v", i, err)
+		}
+	}
+	for i := 1; i < burst; i++ {
+		if !bytes.Equal(plans[i], plans[0]) {
+			t.Fatalf("burst request %d got different plan bytes", i)
+		}
+	}
+
+	var computes int64
+	for _, s := range tf.servers {
+		computes += s.runner.Stats().PlanComputes
+	}
+	if computes != 1 {
+		t.Errorf("burst of %d identical requests ran %d planner searches, want exactly 1", burst, computes)
+	}
+
+	fc.CloseIdleConnections()
+	tf.shutdown(t)
+	waitGoroutines(t, base)
+}
+
+// TestFleetForwardParity: a plan requested through a NON-owner peer is
+// byte-identical to the local result — forwarding is transparent.
+func TestFleetForwardParity(t *testing.T) {
+	base := runtime.NumGoroutine()
+	tf := startFleet(t, 3, "e1")
+
+	cfg := smokeConfigs(t)[0]
+	j, err := runner.NewJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := tf.servers[0].fleet.Owner(j.Fingerprint())
+	nonOwner := -1
+	for i, u := range tf.urls {
+		if u != owner {
+			nonOwner = i
+			break
+		}
+	}
+	cl := tf.peerClient(nonOwner)
+	resp, err := cl.Plan(context.Background(), cfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resp.CanonicalPlanFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localCanonicalPlans(t, []runner.Config{cfg})[0]
+	if !bytes.Equal(got, want) {
+		t.Errorf("forwarded plan differs from local (%d vs %d bytes)", len(got), len(want))
+	}
+
+	body := scrapeMetrics(t, cl)
+	if v := metricValue(t, body, "mpressd_fleet_forwards_sent_total"); v < 1 {
+		t.Errorf("non-owner forwarded %v requests, want >= 1", v)
+	}
+	var received float64
+	for i := range tf.urls {
+		ocl := tf.peerClient(i)
+		received += metricValue(t, scrapeMetrics(t, ocl), "mpressd_fleet_forwards_received_total")
+		ocl.HTTPClient.CloseIdleConnections()
+	}
+	if received < 1 {
+		t.Errorf("no peer counted a received forward")
+	}
+
+	cl.HTTPClient.CloseIdleConnections()
+	tf.shutdown(t)
+	waitGoroutines(t, base)
+}
+
+// TestFleetForwardFallback: when the ring owner is unreachable, the
+// receiving peer plans locally instead of failing the request —
+// availability degrades to cache locality, not errors.
+func TestFleetForwardFallback(t *testing.T) {
+	base := runtime.NumGoroutine()
+	// Reserve an address for the dead peer, then close it.
+	deadLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + deadLn.Addr().String()
+	deadLn.Close()
+
+	liveLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveURL := "http://" + liveLn.Addr().String()
+	fl, err := fleet.New(liveURL, []string{liveURL, deadURL}, "e1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Runner: runner.Options{Workers: 2}, Fleet: fl, Logger: testLogger(t)})
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(ctx, liveLn) }()
+
+	// Find a config the DEAD peer owns, so the live peer must try (and
+	// fail) to forward it.
+	cfg := smokeConfigs(t)[0]
+	found := false
+	for mb := 2; mb <= 32; mb++ {
+		cfg.Minibatches = mb
+		j, err := runner.NewJob(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fl.Owner(j.Fingerprint()) == deadURL {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no test fingerprint owned by the dead peer")
+	}
+
+	cl := client.New(liveURL)
+	cl.HTTPClient = &http.Client{Transport: &http.Transport{}}
+	resp, err := cl.Plan(context.Background(), cfg, "")
+	if err != nil {
+		t.Fatalf("request owned by a dead peer failed outright: %v", err)
+	}
+	got, err := resp.CanonicalPlanFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localCanonicalPlans(t, []runner.Config{cfg})[0]
+	if !bytes.Equal(got, want) {
+		t.Error("fallback plan differs from local")
+	}
+	body := scrapeMetrics(t, cl)
+	if v := metricValue(t, body, "mpressd_fleet_forward_errors_total"); v < 1 {
+		t.Errorf("forward_errors = %v, want >= 1", v)
+	}
+
+	cl.HTTPClient.CloseIdleConnections()
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("serve exit: %v", err)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestFleetCacheVersioning pins the cache tier's fail-closed contract:
+// wrong or missing version headers are refused with a typed 412, a
+// matching version with an unknown key is a typed 404, and a
+// standalone daemon exposes no tier at all.
+func TestFleetCacheVersioning(t *testing.T) {
+	tf := startFleet(t, 2, "e1")
+	defer tf.shutdown(t)
+
+	httpc := &http.Client{Transport: &http.Transport{}}
+	defer httpc.CloseIdleConnections()
+	version := tf.servers[0].fleet.Version()
+
+	get := func(url, ver string) (*http.Response, error) {
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		if ver != "" {
+			req.Header.Set(api.HeaderCacheVersion, ver)
+		}
+		return httpc.Do(req)
+	}
+
+	// Wrong version: refused 412/cache_version.
+	res, err := get(tf.urls[0]+api.PathCache+"/some-key", "bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apiErr api.Error
+	decodeBody(t, res, &apiErr)
+	if res.StatusCode != http.StatusPreconditionFailed || apiErr.Code != api.CodeCacheVersion {
+		t.Errorf("wrong version: status %d code %q", res.StatusCode, apiErr.Code)
+	}
+
+	// Missing version: also refused (fail closed, not fail open).
+	res, err = get(tf.urls[0]+api.PathCache+"/some-key", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, res, &apiErr)
+	if res.StatusCode != http.StatusPreconditionFailed {
+		t.Errorf("missing version: status %d", res.StatusCode)
+	}
+
+	// Matching version, unknown key: typed 404.
+	res, err = get(tf.urls[0]+api.PathCache+"/some-key", version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, res, &apiErr)
+	if res.StatusCode != http.StatusNotFound || apiErr.Code != api.CodeNotFound {
+		t.Errorf("unknown key: status %d code %q", res.StatusCode, apiErr.Code)
+	}
+
+	// Epoch bump changes the version — the invalidation lever.
+	fl2, err := fleet.New(tf.urls[0], tf.urls, "e2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl2.Version() == version {
+		t.Error("epoch bump did not change the cache version")
+	}
+
+	// A standalone daemon refuses the tier outright.
+	solo := New(Options{Runner: runner.Options{Workers: 1}, Logger: testLogger(t)})
+	scl, cancel, wait := startDaemon(t, solo)
+	res, err = get(scl.BaseURL+api.PathCache+"/some-key", "anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, res, &apiErr)
+	if res.StatusCode != http.StatusNotFound {
+		t.Errorf("standalone cache tier: status %d", res.StatusCode)
+	}
+	scl.HTTPClient.CloseIdleConnections()
+	cancel()
+	_ = wait()
+}
+
+// TestFleetCacheTierReuse: a plan computed on one peer is pulled from
+// the tier by another peer planning a different fingerprint with the
+// same plan key — no second planner search.
+func TestFleetCacheTierReuse(t *testing.T) {
+	base := runtime.NumGoroutine()
+	tf := startFleet(t, 3, "e1")
+
+	// Two configs, same plan key (minibatch count is outside the plan
+	// key), different fingerprints — usually different ring owners.
+	cfgA := smokeConfigs(t)[0]
+	cfgB := cfgA
+	cfgB.Minibatches = cfgA.Minibatches + 7
+	jA, err := runner.NewJob(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jB, err := runner.NewJob(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jA.PlanKey() != jB.PlanKey() || jA.Fingerprint() == jB.Fingerprint() {
+		t.Fatalf("test premise broken: keys %q/%q fps equal=%v",
+			jA.PlanKey(), jB.PlanKey(), jA.Fingerprint() == jB.Fingerprint())
+	}
+
+	fc, err := client.NewFleet(tf.urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.DisableHedging = true
+	if _, err := fc.Plan(context.Background(), cfgA, ""); err != nil {
+		t.Fatal(err)
+	}
+	respB, err := fc.Plan(context.Background(), cfgB, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localCanonicalPlans(t, []runner.Config{cfgB})[0]
+	got, err := respB.CanonicalPlanFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("tier-seeded plan differs from local")
+	}
+
+	var computes int64
+	for _, s := range tf.servers {
+		computes += s.runner.Stats().PlanComputes
+	}
+	if computes != 1 {
+		t.Errorf("two same-plan-key jobs ran %d planner searches, want 1 (tier reuse)", computes)
+	}
+
+	fc.CloseIdleConnections()
+	tf.shutdown(t)
+	waitGoroutines(t, base)
+}
+
+func decodeBody(t *testing.T, res *http.Response, out any) {
+	t.Helper()
+	defer res.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(res.Body); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+		t.Fatalf("decode %q: %v", buf.String(), err)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -28,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mpress/internal/fleet"
 	"mpress/internal/mapping"
 	"mpress/internal/runner"
 	"mpress/internal/serve/api"
@@ -57,6 +59,13 @@ type Options struct {
 	DrainTimeout time.Duration
 	// MaxSweepConfigs bounds one sweep request's batch size. Default 4096.
 	MaxSweepConfigs int
+	// Fleet, when set, makes this daemon one peer of a planning fleet:
+	// plan requests whose ring owner is another peer are transparently
+	// forwarded there (one hop, guarded by X-MPress-Forwarded), owners
+	// collapse concurrent identical requests through a singleflight
+	// group, and canonical plans are exchanged with peers over the
+	// /v1/cache tier. Nil serves standalone, exactly as before.
+	Fleet *fleet.Fleet
 	// Logger receives structured request logs; default logs to stderr.
 	Logger *log.Logger
 }
@@ -79,6 +88,26 @@ type Server struct {
 	failuresTotal  atomic.Int64
 	ckptsTotal     atomic.Int64
 	ckptBytesTotal atomic.Int64
+
+	// Fleet state: membership view (nil standalone), the HTTP client
+	// for peer traffic (forwards + cache tier), and the singleflight
+	// group collapsing concurrent identical plan requests.
+	fleet *fleet.Fleet
+	peers *http.Client
+	sf    fleet.Group
+
+	// Fleet counters (all zero when standalone; the metric families are
+	// emitted regardless so dashboards need no fleet-conditional logic).
+	forwardsSent     atomic.Int64
+	forwardErrors    atomic.Int64
+	forwardsReceived atomic.Int64
+	sfWaits          atomic.Int64
+	cacheTierHits    atomic.Int64
+	cacheTierMisses  atomic.Int64
+	cacheTierServes  atomic.Int64
+	cacheTierPushes  atomic.Int64
+	cacheTierRejects atomic.Int64
+	hedgesReceived   atomic.Int64
 
 	// runJob executes one job; tests stub it to make service time
 	// controllable.
@@ -115,6 +144,8 @@ func New(opts Options) *Server {
 		met:    newMetrics(),
 		store:  newJobStore(opts.RetainJobs),
 		logger: opts.Logger,
+		fleet:  opts.Fleet,
+		peers:  &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}},
 	}
 	s.runJob = func(ctx context.Context, j *runner.Job) runner.JobResult {
 		return s.runner.RunKeep(ctx, j)
@@ -126,6 +157,8 @@ func New(opts Options) *Server {
 	mux.HandleFunc("GET "+api.PathJobs+"/{id}/trace", s.instrument("trace", s.handleTrace))
 	mux.HandleFunc("GET "+api.PathHealthz, s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET "+api.PathMetrics, s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET "+api.PathCache+"/{key}", s.instrument("cache_get", s.handleCacheGet))
+	mux.HandleFunc("PUT "+api.PathCache+"/{key}", s.instrument("cache_put", s.handleCachePut))
 	s.mux = mux
 	return s
 }
@@ -155,6 +188,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	defer cancel()
 	err := srv.Shutdown(dctx)
 	<-errc // reap http.ErrServerClosed from the Serve goroutine
+	s.peers.CloseIdleConnections()
 	if err != nil {
 		return fmt.Errorf("serve: drain: %w", err)
 	}
@@ -212,7 +246,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, &api.Error{Status: status, Message: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, &api.Error{
+		Status:  status,
+		Code:    api.CodeForStatus(status),
+		Message: fmt.Sprintf(format, args...),
+	})
 }
 
 // rejectSaturated answers 429 with the drain-rate Retry-After hint.
@@ -222,6 +260,7 @@ func (s *Server) rejectSaturated(w http.ResponseWriter, endpoint string) {
 	w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds())))
 	writeJSON(w, http.StatusTooManyRequests, &api.Error{
 		Status:     http.StatusTooManyRequests,
+		Code:       api.CodeSaturated,
 		Message:    "planning queue is full",
 		RetryAfter: retry.String(),
 	})
@@ -243,9 +282,17 @@ func (s *Server) requestTimeout(spec string) (time.Duration, error) {
 	return d, nil
 }
 
+// maxPlanBody bounds plan request and cache-tier payloads.
+const maxPlanBody = 16 << 20
+
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxPlanBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read request: %v", err)
+		return
+	}
 	var req api.PlanRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "decode request: %v", err)
 		return
 	}
@@ -253,6 +300,31 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if r.Header.Get(api.HeaderHedge) != "" {
+		s.hedgesReceived.Add(1)
+	}
+	forwarded := r.Header.Get(api.HeaderForwarded) != ""
+	if forwarded {
+		s.forwardsReceived.Add(1)
+	}
+	j, err := runner.NewJob(req.Config)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Ring routing: a request whose fingerprint another peer owns is
+	// forwarded there, exactly once — a request already forwarded by a
+	// peer is always handled locally (the one-hop guard that makes
+	// routing loops impossible even under membership disagreement). A
+	// failed forward falls back to local planning: wrong-peer service
+	// costs cache locality, not availability.
+	if s.fleet != nil && !forwarded {
+		if owner := s.fleet.Owner(j.Fingerprint()); !s.fleet.IsSelf(owner) {
+			if s.forwardPlan(w, r, body, owner) {
+				return
+			}
+		}
 	}
 	if !s.adm.tryAcquire() {
 		s.rejectSaturated(w, "plan")
@@ -263,12 +335,38 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	resp, status, err := s.planOne(ctx, req.Config, true)
+	// Collapse concurrent identical requests: with ring routing, every
+	// peer sends a given fingerprint here, so this in-process group is
+	// fleet-wide singleflight — a 64-request burst for one popular job
+	// plans (and simulates) exactly once.
+	type planOutcome struct {
+		resp   *api.PlanResponse
+		status int
+		err    error
+	}
+	key := j.Fingerprint() + "\x00" + req.Timeout
+	v, shared, err := s.sf.Do(ctx, key, func() any {
+		resp, status, err := s.planJob(ctx, j, true)
+		return planOutcome{resp, status, err}
+	})
 	if err != nil {
-		writeError(w, status, "%v", err)
+		// This waiter's own deadline expired while the leader ran on.
+		status := http.StatusGatewayTimeout
+		if errors.Is(err, context.Canceled) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "waiting on identical in-flight request: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	if shared {
+		s.sfWaits.Add(1)
+	}
+	out := v.(planOutcome)
+	if out.err != nil {
+		writeError(w, out.status, "%v", out.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out.resp)
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -300,8 +398,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	// In a fleet, warm the local plan cache from the tier for every
+	// distinct plan key in the batch, and push back the keys the sweep
+	// had to compute itself. Sweeps are served where they land (no
+	// forwarding — a batch spans many ring owners by construction).
+	toPush := s.seedSweepFromTier(ctx, req.Configs)
 	resp := api.SweepResponse{Results: make([]api.SweepResult, len(req.Configs))}
 	results := s.runner.RunConfigs(ctx, req.Configs)
+	for _, key := range toPush {
+		s.pushPlanToTier(key)
+	}
 	for i, res := range results {
 		if res.Err != nil {
 			resp.Results[i] = api.SweepResult{Error: res.Err.Error()}
@@ -317,14 +423,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// planOne validates and runs a single job, retaining its timeline for
-// the trace endpoint when retain is set.
-func (s *Server) planOne(ctx context.Context, cfg runner.Config, retain bool) (*api.PlanResponse, int, error) {
-	j, err := runner.NewJob(cfg)
-	if err != nil {
-		return nil, http.StatusBadRequest, err
-	}
+// planJob runs a validated job, retaining its timeline for the trace
+// endpoint when retain is set. In a fleet it brackets the run with the
+// shared cache tier: a cold local plan cache is seeded from the
+// plan-key owner first, and a freshly computed plan is pushed back.
+func (s *Server) planJob(ctx context.Context, j *runner.Job, retain bool) (*api.PlanResponse, int, error) {
+	s.seedPlanFromTier(ctx, j)
 	res := s.runJob(ctx, j)
+	if res.Err == nil && !res.PlanCacheHit {
+		s.pushPlanToTier(j.PlanKey())
+	}
 	if res.Err != nil {
 		status := http.StatusUnprocessableEntity
 		var infeasible *mapping.InfeasibleError
@@ -459,6 +567,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"mpressd_checkpoints_total", "counter", "Checkpoint snapshots taken across completed jobs.", float64(s.ckptsTotal.Load())},
 		{"mpressd_checkpoint_bytes_total", "counter", "Cumulative checkpoint payload bytes across completed jobs.", float64(s.ckptBytesTotal.Load())},
 	}
+	fleetPeers := 0
+	if s.fleet != nil {
+		fleetPeers = s.fleet.Size()
+	}
+	gauges = append(gauges,
+		gauge{"mpressd_fleet_peers", "gauge", "Planning-fleet membership size (0 when standalone).", float64(fleetPeers)},
+		gauge{"mpressd_fleet_forwards_sent_total", "counter", "Plan requests forwarded to their ring owner.", float64(s.forwardsSent.Load())},
+		gauge{"mpressd_fleet_forward_errors_total", "counter", "Forwards that failed and fell back to local planning.", float64(s.forwardErrors.Load())},
+		gauge{"mpressd_fleet_forwards_received_total", "counter", "Forwarded plan requests received from peers.", float64(s.forwardsReceived.Load())},
+		gauge{"mpressd_fleet_singleflight_waits_total", "counter", "Plan requests that shared an identical in-flight request's result.", float64(s.sfWaits.Load())},
+		gauge{"mpressd_fleet_cache_tier_hits_total", "counter", "Plans seeded from a peer's cache instead of computed.", float64(s.cacheTierHits.Load())},
+		gauge{"mpressd_fleet_cache_tier_misses_total", "counter", "Cache-tier lookups that found no usable peer entry.", float64(s.cacheTierMisses.Load())},
+		gauge{"mpressd_fleet_cache_tier_serves_total", "counter", "Cached plans served to peers over /v1/cache.", float64(s.cacheTierServes.Load())},
+		gauge{"mpressd_fleet_cache_tier_pushes_total", "counter", "Freshly computed plans pushed to their plan-key owner.", float64(s.cacheTierPushes.Load())},
+		gauge{"mpressd_fleet_cache_tier_rejects_total", "counter", "Cache-tier requests refused for a version mismatch.", float64(s.cacheTierRejects.Load())},
+		gauge{"mpressd_hedges_received_total", "counter", "Plan requests marked as client hedges.", float64(s.hedgesReceived.Load())},
+	)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.writeText(w, gauges)
 }

@@ -258,12 +258,16 @@ func TestSaturationAndDrain(t *testing.T) {
 	}
 	slow := make([]outcome, depth)
 	for i := 0; i < depth; i++ {
+		// Distinct fingerprints: identical concurrent requests would
+		// collapse into one flight and hold only one runJob slot.
+		c := cfg
+		c.Minibatches = i + 2
 		wg.Add(1)
-		go func(i int) {
+		go func(i int, c runner.Config) {
 			defer wg.Done()
-			resp, err := cl.Plan(context.Background(), cfg, "")
+			resp, err := cl.Plan(context.Background(), c, "")
 			slow[i] = outcome{resp, err}
-		}(i)
+		}(i, c)
 	}
 	// Both slots are held inside runJob before we probe saturation.
 	for i := 0; i < depth; i++ {
