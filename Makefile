@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test race fmt vet vet-grid smoke fleet-smoke bench benchcheck profile
+.PHONY: check build test race fmt vet vet-grid smoke fleet-smoke fleet-plan-smoke bench benchcheck profile
 
-check: fmt vet vet-grid build race benchcheck fleet-smoke
+check: fmt vet vet-grid build race benchcheck fleet-smoke fleet-plan-smoke
 
 # Run every example binary end to end; each must exit 0.
 smoke:
@@ -16,6 +16,13 @@ smoke:
 # and zero goroutine leaks on drain.
 fleet-smoke:
 	$(GO) test -run 'TestFleet' -count=1 ./internal/serve/
+
+# Capacity-planner acceptance: a two-candidate catalog where the
+# cheaper feasible machine must win the ranking, plus the determinism
+# contract — byte-identical ranked CSV and exact plan-cache hit/miss
+# counts at workers=1 vs 8 — under the race detector.
+fleet-plan-smoke:
+	$(GO) test -race -run 'TestFleetPlanSmoke|TestEvaluateDeterministic' -count=1 ./internal/capacity/
 
 # Performance trajectory: Go micro-benchmarks plus the scaling,
 # resilience and planner experiments, each writing machine-readable

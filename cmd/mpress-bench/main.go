@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"sync"
 
 	"mpress"
@@ -54,7 +55,7 @@ type perfRecord struct {
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
-	exp := flag.String("exp", "", "run only the named experiment, or \"all\" (see -list)")
+	exp := flag.String("exp", "", `run only the named experiment, or "all"; one of: `+strings.Join(experiments.Names(), ", "))
 	jobs := flag.Int("jobs", 0, "concurrent training jobs per experiment (default GOMAXPROCS)")
 	perf := flag.String("perf", "", "write per-job perf records (JSON array) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
@@ -188,7 +189,8 @@ func main() {
 	if *exp != "" && *exp != "all" {
 		e, ok := experiments.Lookup(*exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "mpress-bench: unknown experiment %q (try -list)\n", *exp)
+			fmt.Fprintf(os.Stderr, "mpress-bench: unknown experiment %q (valid names: %s)\n",
+				*exp, strings.Join(experiments.Names(), ", "))
 			os.Exit(2)
 		}
 		run(e)

@@ -1,0 +1,110 @@
+// Command mpress-fleet is the capacity planner: it answers "what
+// hardware should I buy (or rent) for this workload?" by evaluating a
+// job-mix spec against the machine catalog through the simulator.
+//
+// The spec (JSON) names a weighted mix of training job classes, a
+// goodput SLO and the candidate space — machine types × node counts ×
+// tensor-parallel degrees × checkpoint cadences. Every candidate is
+// simulated per class; infeasible candidates (OOM, SLO violations) are
+// rejected with reasons, dominated ones pruned, and the survivors
+// ranked by dollars per thousand effective samples. Output is a
+// recommendation table on stdout plus the full evaluation as CSV
+// (-csv; "-" appends it to stdout).
+//
+// Results are deterministic: a fixed spec yields byte-identical CSV at
+// any -jobs setting.
+//
+// Usage:
+//
+//	mpress-fleet -spec examples/capacity/jobmix.json
+//	mpress-fleet -spec mix.json -csv ranking.csv -jobs 8
+//	mpress-fleet -catalog
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+
+	"mpress"
+	"mpress/internal/capacity"
+	"mpress/internal/catalog"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mpress-fleet: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func main() {
+	specPath := flag.String("spec", "", "job-mix spec file (JSON); see examples/capacity/jobmix.json")
+	csvPath := flag.String("csv", "-", `write the full evaluation as CSV here ("-" appends to stdout, "" skips)`)
+	jobs := flag.Int("jobs", 0, "concurrent training jobs (default GOMAXPROCS; results are byte-identical at any setting)")
+	listCatalog := flag.Bool("catalog", false, "print the machine catalog and exit")
+	quiet := flag.Bool("quiet", false, "suppress the progress line on stderr")
+	flag.Parse()
+
+	if *listCatalog {
+		for _, m := range catalog.All() {
+			m := m
+			fmt.Printf("%-15s %s\n%-15s %s\n", m.Name, m.Description, "", m.String())
+		}
+		return
+	}
+	if *specPath == "" {
+		fail("-spec is required (machine names: %s)", strings.Join(catalog.MachineNames(), ", "))
+	}
+	spec, err := capacity.Load(*specPath)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	var done atomic.Int64
+	opts := capacity.Options{Workers: *jobs}
+	if !*quiet {
+		opts.OnJobDone = func(mpress.JobResult) {
+			fmt.Fprintf(os.Stderr, "\rmpress-fleet: %d jobs simulated ", done.Add(1))
+		}
+	}
+	res, err := capacity.Evaluate(context.Background(), spec, opts)
+	if err != nil {
+		fail("%v", err)
+	}
+	if !*quiet {
+		st := res.Stats
+		fmt.Fprintf(os.Stderr, "\rmpress-fleet: %d jobs simulated; plan cache: %d hits, %d misses\n",
+			st.Jobs, st.PlanCacheHits, st.PlanCacheMisses)
+	}
+
+	capacity.WriteTable(os.Stdout, res)
+	switch *csvPath {
+	case "":
+	case "-":
+		fmt.Println()
+		if err := capacity.WriteCSV(os.Stdout, res); err != nil {
+			fail("%v", err)
+		}
+	default:
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := capacity.WriteCSV(f, res); err != nil {
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "mpress-fleet: wrote %s\n", *csvPath)
+		}
+	}
+	// No feasible candidate is a truthful answer but a failed search:
+	// scripts gate on the exit code.
+	if len(res.Ranked) == 0 {
+		os.Exit(1)
+	}
+}

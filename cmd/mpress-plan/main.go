@@ -53,24 +53,9 @@ func parseModel(name string) (model.Config, error) {
 	}
 }
 
-func parseTopo(name string) (*hw.Topology, error) {
-	switch strings.ToLower(name) {
-	case "dgx1":
-		return hw.DGX1(), nil
-	case "dgx1-nvme":
-		return hw.DGX1WithNVMe(), nil
-	case "dgx2":
-		return hw.DGX2(), nil
-	case "grace":
-		return hw.GraceHopper(), nil
-	default:
-		return nil, fmt.Errorf("topology %q: want dgx1, dgx1-nvme, dgx2 or grace", name)
-	}
-}
-
 func main() {
 	modelName := flag.String("model", "bert-1.67B", "model: bert-<size> or gpt-<size>")
-	topoName := flag.String("topo", "dgx1", "topology: dgx1, dgx1-nvme, dgx2, grace")
+	topoName := flag.String("topo", "dgx1", "topology, one of: "+strings.Join(hw.TopologyNames(), ", "))
 	schedule := flag.String("schedule", "", "schedule: pipedream, dapple or gpipe (default by family)")
 	mb := flag.Int("mb", 0, "microbatch size (default 12 for Bert, 2 for GPT)")
 	tp := flag.Int("tp", 0, "tensor-parallel degree (0 or 1: no TP)")
@@ -86,7 +71,7 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	topo, err := parseTopo(*topoName)
+	topo, err := hw.LookupTopology(*topoName)
 	if err != nil {
 		fail("%v", err)
 	}

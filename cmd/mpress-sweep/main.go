@@ -30,17 +30,6 @@ import (
 	"mpress/internal/model"
 )
 
-var systemByName = map[string]mpress.System{
-	"plain":     mpress.SystemPlain,
-	"swap":      mpress.SystemGPUCPUSwap,
-	"recompute": mpress.SystemRecompute,
-	"d2d":       mpress.SystemMPressD2D,
-	"mpress":    mpress.SystemMPress,
-	"zero3":     mpress.SystemZeRO3,
-	"offload":   mpress.SystemZeROOffload,
-	"infinity":  mpress.SystemZeROInfinity,
-}
-
 func fail(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "mpress-sweep: "+format+"\n", args...)
 	os.Exit(1)
@@ -60,9 +49,9 @@ func parseInts(flagName, s string) []int {
 
 func main() {
 	family := flag.String("family", "bert", "model family to sweep: bert or gpt")
-	topoName := flag.String("topo", "dgx1", "topology: dgx1, dgx1-nvme, dgx2")
+	topoName := flag.String("topo", "dgx1", "topology, one of: "+strings.Join(mpress.TopologyNames(), ", "))
 	systemsFlag := flag.String("systems", "plain,swap,recompute,d2d,mpress",
-		"comma-separated systems: plain,swap,recompute,d2d,mpress,zero3,offload,infinity")
+		"comma-separated systems, any of: "+strings.Join(mpress.SystemNames(), ","))
 	mbFlag := flag.String("mb", "", "comma-separated microbatch sizes (default per family)")
 	tpFlag := flag.String("tp", "1", "comma-separated tensor-parallel degrees")
 	miniFlag := flag.String("minibatches", "", "comma-separated minibatch counts (default 2)")
@@ -79,16 +68,9 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress the progress line and summary on stderr")
 	flag.Parse()
 
-	var topo *mpress.Topology
-	switch strings.ToLower(*topoName) {
-	case "dgx1":
-		topo = mpress.DGX1()
-	case "dgx1-nvme":
-		topo = mpress.DGX1WithNVMe()
-	case "dgx2":
-		topo = mpress.DGX2()
-	default:
-		fail("unknown topology %q", *topoName)
+	topo, err := mpress.LookupTopology(*topoName)
+	if err != nil {
+		fail("%v", err)
 	}
 
 	var sizes []string
@@ -153,9 +135,9 @@ func main() {
 	var systemNames []string
 	for _, name := range strings.Split(*systemsFlag, ",") {
 		name = strings.TrimSpace(strings.ToLower(name))
-		sys, ok := systemByName[name]
-		if !ok {
-			fail("unknown system %q", name)
+		sys, err := mpress.LookupSystem(name)
+		if err != nil {
+			fail("%v", err)
 		}
 		systems = append(systems, sys)
 		systemNames = append(systemNames, name)

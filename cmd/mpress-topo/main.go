@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	topoName := flag.String("topo", "dgx1", "topology: dgx1, dgx1-nvme, dgx2, grace")
+	topoName := flag.String("topo", "dgx1", "topology, one of: "+strings.Join(hw.TopologyNames(), ", "))
 	sizeStr := flag.String("size", "256MiB", "transfer size for the bandwidth probe")
 	nodes := flag.Int("nodes", 1, "node count; > 1 composes a multi-node cluster")
 	tp := flag.Int("tp", 1, "tensor-parallel degree for the grid factorization")
@@ -38,18 +38,9 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the topology (or cluster, with -nodes > 1) as JSON and exit")
 	flag.Parse()
 
-	var topo *hw.Topology
-	switch strings.ToLower(*topoName) {
-	case "dgx1":
-		topo = hw.DGX1()
-	case "dgx1-nvme":
-		topo = hw.DGX1WithNVMe()
-	case "dgx2":
-		topo = hw.DGX2()
-	case "grace":
-		topo = hw.GraceHopper()
-	default:
-		fmt.Fprintf(os.Stderr, "mpress-topo: unknown topology %q\n", *topoName)
+	topo, err := hw.LookupTopology(*topoName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpress-topo: %v\n", err)
 		os.Exit(2)
 	}
 	var clus *cluster.Cluster

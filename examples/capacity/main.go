@@ -1,0 +1,38 @@
+// Capacity planning: pick the cheapest machine type for a job mix.
+//
+// The example feeds the committed lab-fleet spec (jobmix.json, the
+// same file the mpress-fleet CLI documents) through the what-if
+// engine: every catalog machine × node count × checkpoint cadence is
+// simulated per job class, infeasible candidates are rejected with
+// reasons (OOM, goodput SLO), dominated ones pruned, and the
+// survivors ranked by dollars per thousand samples.
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"context"
+	_ "embed"
+	"log"
+	"os"
+
+	"mpress/internal/capacity"
+)
+
+//go:embed jobmix.json
+var jobmix []byte
+
+func main() {
+	spec, err := capacity.Parse(jobmix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := capacity.Evaluate(context.Background(), spec, capacity.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	capacity.WriteTable(os.Stdout, res)
+	if len(res.Ranked) == 0 {
+		log.Fatal("no feasible candidate meets the SLO")
+	}
+}

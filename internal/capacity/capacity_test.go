@@ -1,0 +1,226 @@
+package capacity
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"mpress/internal/catalog"
+)
+
+func TestSpecParseDefaults(t *testing.T) {
+	spec, err := Parse([]byte(`{
+		"name": "mix",
+		"jobs": [{"family": "bert", "size": "0.35B"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := spec.Jobs[0]
+	if j.Name != "job0" || j.System != "mpress" || j.Weight != 1 || j.MicrobatchSize != 12 {
+		t.Errorf("defaults not filled: %+v", j)
+	}
+	if len(spec.Candidates.Machines) != len(catalog.MachineNames()) {
+		t.Errorf("machines did not default to the catalog: %v", spec.Candidates.Machines)
+	}
+	if len(spec.Candidates.Nodes) != 1 || spec.Candidates.Nodes[0] != 1 {
+		t.Errorf("nodes default = %v", spec.Candidates.Nodes)
+	}
+	if len(spec.Candidates.TP) != 1 || len(spec.Candidates.CheckpointSeconds) != 1 {
+		t.Errorf("tp/ckpt defaults = %v / %v", spec.Candidates.TP, spec.Candidates.CheckpointSeconds)
+	}
+
+	gpt, err := Parse([]byte(`{"jobs": [{"family": "gpt", "size": "5.3B"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpt.Jobs[0].MicrobatchSize != 2 {
+		t.Errorf("gpt microbatch default = %d", gpt.Jobs[0].MicrobatchSize)
+	}
+}
+
+func TestSpecParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"unknown field", `{"jobs": [{"family": "bert", "size": "0.35B"}], "bogus": 1}`, "bogus"},
+		{"no jobs", `{"jobs": []}`, "no job classes"},
+		{"bad family", `{"jobs": [{"family": "resnet", "size": "50"}]}`, "unknown family"},
+		{"bad size", `{"jobs": [{"family": "bert", "size": "9.9B"}]}`, "unknown Bert variant"},
+		{"bad system", `{"jobs": [{"family": "bert", "size": "0.35B", "system": "magic"}]}`, "unknown system"},
+		{"bad machine", `{"jobs": [{"family": "bert", "size": "0.35B"}], "candidates": {"machines": ["cray"]}}`, "unknown machine type"},
+		{"bad nodes", `{"jobs": [{"family": "bert", "size": "0.35B"}], "candidates": {"nodes": [0]}}`, "node count"},
+		{"bad slo", `{"jobs": [{"family": "bert", "size": "0.35B"}], "slo": {"goodput_frac": 1.5}}`, "goodput_frac"},
+		{"negative mtbf", `{"jobs": [{"family": "bert", "size": "0.35B", "mtbf_s": -1}]}`, "mtbf_s"},
+	}
+	for _, tc := range cases {
+		_, err := Parse([]byte(tc.in))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// The walkthrough scenario: a mix with one class that OOMs on the
+// consumer box, an SLO floor the cheap box would otherwise duck under,
+// and a clear cheapest-feasible winner.
+func TestEvaluateOutcomes(t *testing.T) {
+	spec := &Spec{
+		Name: "test-mix",
+		Seed: 7,
+		Jobs: []JobClass{
+			{Name: "resilient", Family: "bert", Size: "0.35B", System: "mpress", MTBFSeconds: 1800},
+			{Name: "plain", Family: "bert", Size: "0.35B", System: "plain"},
+		},
+		SLO: SLO{GoodputFrac: 0.5},
+		Candidates: Candidates{
+			Machines: []string{"dgx1-v100", "consumer-4090"},
+		},
+	}
+	res, err := Evaluate(context.Background(), spec, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evaluations) != 2 {
+		t.Fatalf("got %d evaluations, want 2", len(res.Evaluations))
+	}
+	if len(res.Ranked) != 1 || res.Ranked[0].Machine != "dgx1-v100" {
+		t.Fatalf("ranked = %+v, want dgx1-v100 alone", res.Ranked)
+	}
+	best := res.Ranked[0]
+	if best.CostPerKSample <= 0 || best.EnergyWhPerKSample <= 0 {
+		t.Errorf("winner has no economics: %+v", best)
+	}
+	if best.AggGoodputSPS <= 0 || best.MinGoodputFrac <= 0 || best.MinGoodputFrac > 1 {
+		t.Errorf("winner goodput out of range: %+v", best)
+	}
+	var consumer *Evaluation
+	for i := range res.Evaluations {
+		if res.Evaluations[i].Machine == "consumer-4090" {
+			consumer = &res.Evaluations[i]
+		}
+	}
+	if consumer == nil || consumer.Feasible {
+		t.Fatalf("consumer-4090 should be infeasible: %+v", consumer)
+	}
+	if !strings.Contains(consumer.Reason, "oom") {
+		t.Errorf("consumer-4090 reason = %q, want an OOM", consumer.Reason)
+	}
+}
+
+func TestEvaluateSLOFloor(t *testing.T) {
+	spec := &Spec{
+		Seed: 7,
+		Jobs: []JobClass{{Name: "j", Family: "bert", Size: "0.35B", System: "mpress"}},
+		SLO:  SLO{MinSamplesPerSec: 1e6},
+		Candidates: Candidates{
+			Machines: []string{"dgx1-v100"},
+		},
+	}
+	res, err := Evaluate(context.Background(), spec, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranked) != 0 {
+		t.Fatalf("impossible SLO produced a ranking: %+v", res.Ranked)
+	}
+	if got := res.Evaluations[0].Reason; !strings.Contains(got, "below SLO floor") {
+		t.Errorf("reason = %q, want SLO floor rejection", got)
+	}
+}
+
+// Tensor-parallel resilient classes run fault-free and are priced by
+// the first-order overhead model: the Analytic flag must be set and
+// the goodput fraction strictly inside (0, 1).
+func TestEvaluateAnalyticTPPath(t *testing.T) {
+	spec := &Spec{
+		Seed: 7,
+		Jobs: []JobClass{{Name: "r", Family: "bert", Size: "0.35B", System: "mpress", MTBFSeconds: 600}},
+		Candidates: Candidates{
+			Machines: []string{"dgx1-v100"},
+			TP:       []int{2},
+		},
+	}
+	res, err := Evaluate(context.Background(), spec, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evaluations) != 1 {
+		t.Fatalf("got %d evaluations", len(res.Evaluations))
+	}
+	cls := res.Evaluations[0].Classes[0]
+	if cls.Status != "ok" || !cls.Analytic {
+		t.Fatalf("class = %+v, want analytic ok", cls)
+	}
+	if cls.GoodputFrac <= 0 || cls.GoodputFrac >= 1 {
+		t.Errorf("analytic goodput fraction %g not in (0, 1)", cls.GoodputFrac)
+	}
+	if cls.GoodputSPS >= cls.IdealSPS {
+		t.Error("analytic goodput not below ideal")
+	}
+}
+
+// A machine beaten on both dollars and watt-hours per sample must be
+// marked dominated and kept out of the ranking.
+func TestEvaluateDominance(t *testing.T) {
+	spec := &Spec{
+		Seed: 7,
+		Jobs: []JobClass{{Name: "j", Family: "gpt", Size: "5.3B", System: "mpress"}},
+		Candidates: Candidates{
+			Machines: []string{"dgx1-v100", "consumer-4090"},
+		},
+	}
+	res, err := Evaluate(context.Background(), spec, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranked) != 1 || res.Ranked[0].Machine != "consumer-4090" {
+		t.Fatalf("ranked = %+v, want consumer-4090 alone", res.Ranked)
+	}
+	var dgx *Evaluation
+	for i := range res.Evaluations {
+		if res.Evaluations[i].Machine == "dgx1-v100" {
+			dgx = &res.Evaluations[i]
+		}
+	}
+	if dgx == nil || !dgx.Feasible || !dgx.Dominated {
+		t.Fatalf("dgx1-v100 should be feasible but dominated: %+v", dgx)
+	}
+	if !strings.Contains(dgx.Reason, "dominated by consumer-4090") {
+		t.Errorf("reason = %q", dgx.Reason)
+	}
+}
+
+// TestFleetPlanSmoke is the make fleet-plan-smoke gate: a two-candidate
+// catalog where the cheaper feasible machine must win the ranking.
+func TestFleetPlanSmoke(t *testing.T) {
+	spec := &Spec{
+		Name: "smoke",
+		Seed: 1,
+		Jobs: []JobClass{{Name: "bert", Family: "bert", Size: "0.35B", System: "mpress"}},
+		Candidates: Candidates{
+			Machines: []string{"dgx2-a100", "consumer-4090"},
+		},
+	}
+	res, err := Evaluate(context.Background(), spec, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evaluations) != 2 {
+		t.Fatalf("got %d candidates, want 2", len(res.Evaluations))
+	}
+	if len(res.Ranked) == 0 {
+		t.Fatal("no feasible candidate")
+	}
+	best := res.Ranked[0]
+	if best.Machine != "consumer-4090" {
+		t.Fatalf("winner = %s, want the cheaper consumer-4090", best.Machine)
+	}
+	for _, ev := range res.Evaluations {
+		if ev.Machine == "dgx2-a100" && ev.Feasible && !ev.Dominated {
+			if ev.CostPerKSample < best.CostPerKSample {
+				t.Error("a cheaper feasible candidate lost the ranking")
+			}
+		}
+	}
+}

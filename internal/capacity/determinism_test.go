@@ -1,0 +1,75 @@
+package capacity
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// raceSpec exercises the concurrent sweep: two classes over four
+// candidates (two node counts × two checkpoint cadences) on one
+// machine type. The planned classes collapse to exactly two distinct
+// plan keys — the node axis is excluded from plan keys (planning is
+// per-replica) and the checkpoint axis joins only the fingerprint —
+// so the cache counters below are exact at any worker count.
+func raceSpec() *Spec {
+	return &Spec{
+		Name: "race",
+		Seed: 42,
+		Jobs: []JobClass{
+			{Name: "resilient", Family: "bert", Size: "0.35B", System: "mpress", MTBFSeconds: 1800},
+			{Name: "steady", Family: "bert", Size: "0.64B", System: "d2d"},
+		},
+		SLO: SLO{GoodputFrac: 0.5},
+		Candidates: Candidates{
+			Machines:          []string{"dgx1-v100"},
+			Nodes:             []int{1, 2},
+			TP:                []int{1},
+			CheckpointSeconds: []float64{0, 120},
+		},
+	}
+}
+
+// TestEvaluateDeterministic pins the determinism contract: the ranked
+// CSV is byte-identical at workers=1 and workers=8, and the shared
+// plan cache sees exactly the predicted hit/miss split — misses =
+// distinct plan keys, everything else a hit (including waits on
+// in-flight computes), regardless of interleaving. Run under -race by
+// make fleet-plan-smoke.
+func TestEvaluateDeterministic(t *testing.T) {
+	var outputs [][]byte
+	for _, workers := range []int{1, 8} {
+		res, err := Evaluate(context.Background(), raceSpec(), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const (
+			wantJobs     = 8 // 2 classes × 4 candidates
+			wantComputes = 2 // one plan per (class, machine, tp)
+			wantMisses   = 2
+			wantHits     = 6
+		)
+		st := res.Stats
+		if st.Jobs != wantJobs {
+			t.Errorf("workers=%d: jobs = %d, want %d", workers, st.Jobs, wantJobs)
+		}
+		if st.PlanComputes != wantComputes {
+			t.Errorf("workers=%d: plan computes = %d, want %d", workers, st.PlanComputes, wantComputes)
+		}
+		if st.PlanCacheMisses != wantMisses {
+			t.Errorf("workers=%d: plan cache misses = %d, want %d", workers, st.PlanCacheMisses, wantMisses)
+		}
+		if st.PlanCacheHits != wantHits {
+			t.Errorf("workers=%d: plan cache hits = %d, want %d", workers, st.PlanCacheHits, wantHits)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, buf.Bytes())
+	}
+	if !bytes.Equal(outputs[0], outputs[1]) {
+		t.Errorf("ranked CSV differs between workers=1 and workers=8:\n--- workers=1\n%s\n--- workers=8\n%s",
+			outputs[0], outputs[1])
+	}
+}

@@ -1,0 +1,137 @@
+package capacity
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSVHeader is the ranked-output column set.
+var CSVHeader = []string{
+	"rank", "machine", "nodes", "tp", "ckpt",
+	"feasible", "agg_goodput_sps", "min_goodput_frac",
+	"cost_usd_per_ksample", "energy_wh_per_ksample",
+	"node_usd_hr", "node_watts", "reason",
+}
+
+// num renders a metric with enough digits to round-trip decisions but
+// a stable, locale-free format — CSV outputs are byte-compared across
+// worker counts, so every float must format identically everywhere.
+func num(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// WriteCSV emits the full evaluation as CSV: the ranking first (rank
+// 1, 2, …), then dominated and infeasible candidates with rank "-".
+// Rows are deterministic: byte-identical for a fixed spec at any
+// worker count.
+func WriteCSV(w io.Writer, res *Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(CSVHeader); err != nil {
+		return err
+	}
+	rank := 0
+	for _, ev := range res.Evaluations {
+		rankCol := "-"
+		if ev.Feasible && !ev.Dominated {
+			rank++
+			rankCol = strconv.Itoa(rank)
+		}
+		row := []string{
+			rankCol, ev.Machine, strconv.Itoa(ev.Nodes), strconv.Itoa(ev.TP), ev.ckptLabel(),
+			strconv.FormatBool(ev.Feasible && !ev.Dominated),
+			num(ev.AggGoodputSPS), num(ev.MinGoodputFrac),
+			num(ev.CostPerKSample), num(ev.EnergyWhPerKSample),
+			num(ev.NodeHourlyCost.Dollarsf()), num(ev.NodePower.Wattsf()),
+			ev.Reason,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable prints the human-facing recommendation table: the ranked
+// feasible candidates with their economics, then the rejections with
+// their reasons.
+func WriteTable(w io.Writer, res *Result) {
+	fmt.Fprintf(w, "job mix %q: %d classes, %d candidates, %d feasible\n\n",
+		res.Spec.Name, len(res.Spec.Jobs), len(res.Evaluations), len(res.Ranked))
+	if len(res.Ranked) > 0 {
+		t := newTable("rank", "machine", "nodes", "tp", "ckpt",
+			"goodput sps", "min frac", "$/Ksample", "Wh/Ksample")
+		for i, ev := range res.Ranked {
+			t.add(strconv.Itoa(i+1), ev.Machine, strconv.Itoa(ev.Nodes), strconv.Itoa(ev.TP),
+				ev.ckptLabel(), fmt.Sprintf("%.2f", ev.AggGoodputSPS),
+				fmt.Sprintf("%.3f", ev.MinGoodputFrac),
+				fmt.Sprintf("%.4f", ev.CostPerKSample),
+				fmt.Sprintf("%.2f", ev.EnergyWhPerKSample))
+		}
+		t.write(w)
+		best := res.Ranked[0]
+		fmt.Fprintf(w, "\nrecommendation: %s — %s/node, %v/node, %s per 1000 samples\n",
+			best.Candidate, best.NodeHourlyCost, best.NodePower,
+			fmt.Sprintf("$%.4f", best.CostPerKSample))
+	} else {
+		fmt.Fprintln(w, "no feasible candidate meets the SLO")
+	}
+	var rejected []Evaluation
+	for _, ev := range res.Evaluations {
+		if !ev.Feasible || ev.Dominated {
+			rejected = append(rejected, ev)
+		}
+	}
+	if len(rejected) > 0 {
+		fmt.Fprintf(w, "\nrejected (%d):\n", len(rejected))
+		t := newTable("candidate", "reason")
+		for _, ev := range rejected {
+			t.add(ev.Candidate.String(), ev.Reason)
+		}
+		t.write(w)
+	}
+}
+
+// table is a minimal fixed-width text table writer (the experiments
+// package has a twin; both are too small to share).
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}

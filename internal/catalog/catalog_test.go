@@ -1,0 +1,148 @@
+package catalog
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mpress/internal/units"
+)
+
+func TestCatalogEntriesValidate(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("catalog has %d entries, want 5", len(all))
+	}
+	for _, m := range all {
+		m := m
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		if m.HourlyCost <= 0 {
+			t.Errorf("%s: hourly cost %v not positive", m.Name, m.HourlyCost)
+		}
+		if m.Power <= 0 {
+			t.Errorf("%s: power %v not positive", m.Name, m.Power)
+		}
+		if _, ok := m.DefaultFabric(); !ok {
+			t.Errorf("%s: no default fabric", m.Name)
+		}
+		if m.Description == "" {
+			t.Errorf("%s: empty description", m.Name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, name := range MachineNames() {
+		m, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if m.Name != name {
+			t.Errorf("Lookup(%q).Name = %q", name, m.Name)
+		}
+	}
+	if m, err := Lookup("DGX1-V100"); err != nil || m.Name != "dgx1-v100" {
+		t.Errorf("case-insensitive Lookup = %+v, %v", m.Name, err)
+	}
+}
+
+func TestLookupUnknownListsNames(t *testing.T) {
+	_, err := Lookup("dgx9000")
+	if err == nil {
+		t.Fatal("Lookup(dgx9000) succeeded")
+	}
+	for _, name := range MachineNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list %q", err, name)
+		}
+	}
+}
+
+// TestJSONRoundTrip pins that a catalog entry survives
+// Marshal→Unmarshal bit-exactly — job-mix specs embed machines
+// verbatim, so any lossy field would silently change plans.
+func TestJSONRoundTrip(t *testing.T) {
+	for _, m := range All() {
+		m := m
+		blob, err := json.Marshal(&m)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", m.Name, err)
+		}
+		var back MachineType
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", m.Name, err)
+		}
+		if !reflect.DeepEqual(m, back) {
+			t.Errorf("%s: round-trip mismatch:\n got %+v\nwant %+v", m.Name, back, m)
+		}
+		if err := back.Validate(); err != nil {
+			t.Errorf("%s: round-tripped entry invalid: %v", m.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadEntries(t *testing.T) {
+	good, err := Lookup("dgx1-v100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		mutil func(*MachineType)
+	}{
+		{"no name", func(m *MachineType) { m.Name = "" }},
+		{"no server", func(m *MachineType) { m.Server = nil }},
+		{"negative cost", func(m *MachineType) { m.HourlyCost = units.USD(-1) }},
+		{"negative power", func(m *MachineType) { m.Power = units.Watts(-1) }},
+		{"bad topology", func(m *MachineType) { m.Server.NumGPUs = 0 }},
+	}
+	for _, tc := range cases {
+		m, _ := Lookup(good.Name) // fresh copy, including topology
+		tc.mutil(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate passed", tc.name)
+		}
+	}
+}
+
+// The consumer box must be the regime the paper's pitch targets:
+// small per-GPU memory, decent FLOPS, slow peer links.
+func TestConsumer4090Shape(t *testing.T) {
+	topo := Consumer4090()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.GPU.Memory != 24*units.GiB {
+		t.Errorf("4090 memory = %v", topo.GPU.Memory)
+	}
+	dgx1, err := Lookup("dgx1-v100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peer bandwidth (one lane at PCIe P2P speed) must be far below
+	// even DGX-1's single NVLink lane aggregate path.
+	consumerPeer := float64(topo.NVLinkLaneBW) * float64(topo.LanesPerGPU)
+	dgxPeer := float64(dgx1.Server.NVLinkLaneBW) * 2 // any 2-lane neighbor pair
+	if consumerPeer >= dgxPeer {
+		t.Errorf("consumer peer BW %.0f not below DGX-1 2-lane %.0f", consumerPeer, dgxPeer)
+	}
+}
+
+func TestOffloadA100x4Shape(t *testing.T) {
+	topo := OffloadA100x4()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.HostMemory != 2*units.TiB {
+		t.Errorf("host memory = %v", topo.HostMemory)
+	}
+	if topo.NVMeBW != units.GBps(25) {
+		t.Errorf("NVMe BW = %v", topo.NVMeBW)
+	}
+	if topo.NumGPUs != 4 {
+		t.Errorf("NumGPUs = %d", topo.NumGPUs)
+	}
+}

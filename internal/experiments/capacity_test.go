@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCapacityContent pins the lab-fleet artifact's shape: a
+// cheapest-feasible recommendation, at least one OOM rejection and at
+// least one goodput-SLO rejection — the three outcomes the capacity
+// planner exists to distinguish.
+func TestCapacityContent(t *testing.T) {
+	out := capture(t, "capacity")
+	if !strings.Contains(out, "recommendation: gh200 x1") {
+		t.Errorf("expected a gh200 x1 recommendation:\n%s", out)
+	}
+	if !strings.Contains(out, "oom") {
+		t.Errorf("expected an OOM rejection:\n%s", out)
+	}
+	if !strings.Contains(out, "below SLO") {
+		t.Errorf("expected a goodput-SLO rejection:\n%s", out)
+	}
+}
+
+// TestCapacityDeterminism asserts byte-identical output across runs —
+// the fault replay, concurrent sweep and CSV rendering are all on the
+// hash path.
+func TestCapacityDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := Capacity(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Capacity(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("same seed, different output:\nfirst:\n%s\nsecond:\n%s", a.String(), b.String())
+	}
+}

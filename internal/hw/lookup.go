@@ -1,0 +1,55 @@
+package hw
+
+import (
+	"fmt"
+	"strings"
+)
+
+// topologyPresets maps every accepted -topo name (including aliases)
+// to its preset constructor, in the order TopologyNames lists them —
+// the same registry pattern cluster.FabricNames/LookupFabric use for
+// -fabric, so CLI help and "unknown name" errors can never drift from
+// the set of servers that actually resolve.
+var topologyPresets = []struct {
+	name    string
+	aliases []string
+	build   func() *Topology
+}{
+	{"dgx1", []string{"dgx-1v", "v100"}, DGX1},
+	{"dgx1-nvme", nil, DGX1WithNVMe},
+	{"dgx2", []string{"dgx-2a100", "a100"}, DGX2},
+	{"dgx2-fastnvme", nil, DGX2FastNVMe},
+	{"grace", []string{"gracehopper", "gh200"}, GraceHopper},
+}
+
+// TopologyNames lists every name LookupTopology accepts — canonical
+// preset names first, then their aliases — for CLI help and error
+// messages.
+func TopologyNames() []string {
+	var names []string
+	for _, p := range topologyPresets {
+		names = append(names, p.name)
+	}
+	for _, p := range topologyPresets {
+		names = append(names, p.aliases...)
+	}
+	return names
+}
+
+// LookupTopology resolves a CLI topology name, case-insensitively.
+// Unknown names fail with the full list of valid ones.
+func LookupTopology(name string) (*Topology, error) {
+	lower := strings.ToLower(name)
+	for _, p := range topologyPresets {
+		if lower == p.name {
+			return p.build(), nil
+		}
+		for _, a := range p.aliases {
+			if lower == a {
+				return p.build(), nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("hw: unknown topology %q (valid names: %s)",
+		name, strings.Join(TopologyNames(), ", "))
+}

@@ -154,6 +154,38 @@ type Config struct {
 	// nor the plan key. Zero defers to the runner's default
 	// (Options.PlanWorkers, else sequential).
 	PlanWorkers int
+	// Price, when non-nil, attaches node economics to the job: the
+	// Report then carries EnergyKWh and CostUSD for the whole run
+	// (capacity planning ranks configurations by them). Pricing never
+	// changes the simulation; like resilience it joins the fingerprint
+	// only when set — and never the plan key — so legacy fingerprints
+	// are untouched.
+	Price *Price
+}
+
+// Price is the economics of one node running the job, typically lifted
+// from a catalog.MachineType.
+type Price struct {
+	// NodePower is one node's electrical draw at training load.
+	NodePower units.Power
+	// NodeHourlyCost is one node's rental rate in $/hr.
+	NodeHourlyCost units.Cost
+}
+
+// Validate rejects negative rates.
+func (p *Price) Validate() error {
+	if p.NodePower < 0 {
+		return fmt.Errorf("mpress: Price.NodePower %v is negative", p.NodePower)
+	}
+	if p.NodeHourlyCost < 0 {
+		return fmt.Errorf("mpress: Price.NodeHourlyCost %v is negative", p.NodeHourlyCost)
+	}
+	return nil
+}
+
+// Canonical renders the price for the job fingerprint.
+func (p *Price) Canonical() string {
+	return fmt.Sprintf("price=w%g/c%g", float64(p.NodePower), float64(p.NodeHourlyCost))
 }
 
 // Resilient reports whether the job runs the fault/checkpoint replay.
@@ -212,6 +244,11 @@ func (c Config) WithDefaults() (Config, error) {
 	}
 	if c.PlanWorkers < 0 {
 		return c, fmt.Errorf("mpress: PlanWorkers %d is negative", c.PlanWorkers)
+	}
+	if c.Price != nil {
+		if err := c.Price.Validate(); err != nil {
+			return c, err
+		}
 	}
 	if c.Replicas() > 1 && c.AllReduceBuckets == 0 {
 		c.AllReduceBuckets = 4
@@ -363,6 +400,14 @@ type Report struct {
 	// is kept out of the Report so reports stay run-to-run
 	// byte-identical). Zero for the analytic ZeRO baselines.
 	SimEvents int64
+	// EnergyKWh and CostUSD price the whole run across all replicas
+	// when Config.Price is set (absent otherwise, and zero on OOM):
+	// energy = node draw × wall clock × replicas, cost = node $/hr ×
+	// wall hours × replicas. Resilient runs price the full resilient
+	// wall clock — checkpoint stalls, lost work and recovery all burn
+	// rented watts.
+	EnergyKWh float64 `json:",omitempty"`
+	CostUSD   float64 `json:",omitempty"`
 }
 
 // Failed reports whether the job hit OOM.
@@ -447,6 +492,11 @@ func canonical(c Config, withMinibatches, withCluster bool) string {
 		// checkpoints join the fingerprint only, like Minibatches.
 		if c.Resilient() {
 			fmt.Fprintf(&b, "%s;%s;", c.Faults.Canonical(), c.Checkpoint.Canonical())
+		}
+		// Pricing shapes the report, not the simulation; fingerprint
+		// only, and only when attached.
+		if c.Price != nil {
+			fmt.Fprintf(&b, "%s;", c.Price.Canonical())
 		}
 	}
 	fmt.Fprintf(&b, "sys=%d;nomap=%v;nostripe=%v", int(c.System), c.DisableMappingSearch, c.DisableStriping)

@@ -299,7 +299,22 @@ func stageReport(ctx context.Context, st *State) error {
 	if sum := st.Resil; sum != nil {
 		mergeResilience(st.Report, st.Exec, sum)
 	}
+	applyPrice(st.Report)
 	return nil
+}
+
+// applyPrice fills the Report's economics from Config.Price. It runs
+// after mergeResilience so resilient runs are priced over their full
+// wall clock, and prices nothing on OOM (a dead run earns no samples;
+// leaving cost zero keeps $/sample metrics from dividing by it).
+func applyPrice(rep *Report) {
+	p := rep.Config.Price
+	if p == nil || rep.OOM != nil || rep.Duration <= 0 {
+		return
+	}
+	n := float64(rep.Replicas)
+	rep.EnergyKWh = p.NodePower.EnergyKWh(rep.Duration) * n
+	rep.CostUSD = p.NodeHourlyCost.For(rep.Duration).Dollarsf() * n
 }
 
 // mergeResilience folds the resilient replay's accounting into the
@@ -359,6 +374,7 @@ func stageZeRO(ctx context.Context, st *State) error {
 		rep.HostPeak = res.HostPeak
 		rep.PerGPUPeak = append(rep.PerGPUPeak, res.PerGPUPeak...)
 	}
+	applyPrice(rep)
 	st.Report = rep
 	return nil
 }

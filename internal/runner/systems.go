@@ -1,0 +1,58 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+)
+
+// systemPresets maps the CLI names to systems, in presentation order —
+// the single source the sweep/fleet tools and the capacity planner
+// derive their help text and error messages from.
+var systemPresets = []struct {
+	name string
+	sys  System
+}{
+	{"plain", SystemPlain},
+	{"swap", SystemGPUCPUSwap},
+	{"recompute", SystemRecompute},
+	{"d2d", SystemMPressD2D},
+	{"mpress", SystemMPress},
+	{"zero3", SystemZeRO3},
+	{"offload", SystemZeROOffload},
+	{"infinity", SystemZeROInfinity},
+}
+
+// SystemNames lists every name LookupSystem accepts, in presentation
+// order, for CLI help and error messages.
+func SystemNames() []string {
+	names := make([]string, len(systemPresets))
+	for i, p := range systemPresets {
+		names[i] = p.name
+	}
+	return names
+}
+
+// LookupSystem resolves a training system by CLI name,
+// case-insensitively. Unknown names fail listing every valid one, à la
+// cluster.LookupFabric.
+func LookupSystem(name string) (System, error) {
+	lower := strings.ToLower(name)
+	for _, p := range systemPresets {
+		if lower == p.name {
+			return p.sys, nil
+		}
+	}
+	return 0, fmt.Errorf("mpress: unknown system %q (valid names: %s)",
+		name, strings.Join(SystemNames(), ", "))
+}
+
+// SystemName returns the CLI name of a system (the inverse of
+// LookupSystem), or its String form for unknown values.
+func SystemName(s System) string {
+	for _, p := range systemPresets {
+		if p.sys == s {
+			return p.name
+		}
+	}
+	return s.String()
+}

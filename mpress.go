@@ -210,6 +210,12 @@ var (
 	DGX2FastNVMe = hw.DGX2FastNVMe
 	// GraceHopper is the Sec. V projection platform.
 	GraceHopper = hw.GraceHopper
+	// LookupTopology resolves CLI names ("dgx1", "grace", "v100", …);
+	// unknown names fail listing every valid one.
+	LookupTopology = hw.LookupTopology
+	// TopologyNames lists every name LookupTopology accepts, for CLI
+	// help.
+	TopologyNames = hw.TopologyNames
 )
 
 // MustBert returns a paper Bert variant ("0.35B" … "6.2B"), panicking
@@ -255,12 +261,25 @@ const (
 	SystemZeROInfinity = runner.SystemZeROInfinity
 )
 
+var (
+	// LookupSystem resolves CLI names ("plain", "swap", "mpress", …);
+	// unknown names fail listing every valid one.
+	LookupSystem = runner.LookupSystem
+	// SystemNames lists every name LookupSystem accepts, in
+	// presentation order, for CLI help.
+	SystemNames = runner.SystemNames
+)
+
 // Config describes one training job; Report is its outcome. Both live
 // in internal/runner — the facade aliases them so existing callers
 // and the Runner API share one set of types.
 type (
 	Config = runner.Config
 	Report = runner.Report
+	// Price attaches node economics (watts, $/hr) to a Config; the
+	// Report then carries EnergyKWh and CostUSD. Catalog machine types
+	// (internal/catalog) are the usual source.
+	Price = runner.Price
 )
 
 // The shard-coordinate grid behind Config.TPDegree: the device world
