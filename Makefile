@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test race fmt vet vet-grid smoke fleet-smoke fleet-plan-smoke bench benchcheck profile
+.PHONY: check build test race fmt vet vet-grid smoke fleet-smoke fleet-plan-smoke autosearch-smoke bench benchcheck profile
 
-check: fmt vet vet-grid build race benchcheck fleet-smoke fleet-plan-smoke
+check: fmt vet vet-grid build race benchcheck fleet-smoke fleet-plan-smoke autosearch-smoke
 
 # Run every example binary end to end; each must exit 0.
 smoke:
@@ -24,6 +24,15 @@ fleet-smoke:
 fleet-plan-smoke:
 	$(GO) test -race -run 'TestFleetPlanSmoke|TestEvaluateDeterministic' -count=1 ./internal/capacity/
 
+# Planner-v2 acceptance: over the determinism-suite model×topology
+# pairs, the auto-searched strategy must meet or beat every hand
+# preset on time-to-fit (cross-checked by full enumeration, so the
+# lower bound's pruning is provably sound), and the winner — strategy,
+# report and plan — must be byte-identical at workers=1 vs 8, under
+# the race detector.
+autosearch-smoke:
+	$(GO) test -race -run 'TestAutoSearch' -count=1 .
+
 # Performance trajectory: Go micro-benchmarks plus the scaling,
 # resilience and planner experiments, each writing machine-readable
 # per-job perf records (BENCH_*.json: fingerprint, samples/sec, wall
@@ -34,6 +43,7 @@ bench:
 	$(GO) run ./cmd/mpress-bench -exp scaling -perf BENCH_scaling.json > /dev/null
 	$(GO) run ./cmd/mpress-bench -exp resilience -perf BENCH_resilience.json > /dev/null
 	$(GO) run ./cmd/mpress-bench -exp planner -perf BENCH_planner.json > /dev/null
+	$(GO) run ./cmd/mpress-bench -exp autosearch -perf BENCH_search.json > /dev/null
 
 # Single-iteration smoke of the refinement-loop and sim-kernel
 # benchmarks, so check catches them compiling or asserting badly

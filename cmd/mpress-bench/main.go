@@ -51,6 +51,15 @@ type perfRecord struct {
 	SimEvents       int64   `json:"sim_events,omitempty"`
 	SimEventsPerSec float64 `json:"sim_events_per_sec,omitempty"`
 	Status          string  `json:"status"`
+	// Search fields, set on the one status="search" record each
+	// auto-search emits (the autosearch experiment): the branch-and-
+	// bound counters and the winner strategy. Fingerprint then holds
+	// the search's base fingerprint and Model the preset name; WallMS
+	// is the whole search's wall time.
+	SearchExpanded int `json:"search_expanded,omitempty"`
+	SearchPruned   int `json:"search_pruned,omitempty"`
+	SearchMemoHits int `json:"search_memo_hits,omitempty"`
+	SearchSkipped  int `json:"search_skipped,omitempty"`
 }
 
 func main() {
@@ -135,6 +144,26 @@ func main() {
 				if d := jr.StageTimes["execute"]; d > 0 {
 					rec.SimEventsPerSec = float64(rec.SimEvents) / d.Seconds()
 				}
+			}
+			mu.Lock()
+			records = append(records, rec)
+			mu.Unlock()
+		})
+		experiments.SetSearchObserver(func(preset string, r *mpress.SearchResult) {
+			rec := perfRecord{
+				Experiment:     current,
+				Fingerprint:    r.BaseFingerprint,
+				Model:          preset,
+				WallMS:         float64(r.Wall.Microseconds()) / 1e3,
+				Status:         "search",
+				SearchExpanded: r.Expanded,
+				SearchPruned:   r.Pruned,
+				SearchMemoHits: r.MemoHits,
+				SearchSkipped:  r.Skipped,
+			}
+			if best := r.Best(); best != nil {
+				rec.System = best.Key.String()
+				rec.SamplesPerSec = best.Eval.EffSamplesPerSec
 			}
 			mu.Lock()
 			records = append(records, rec)

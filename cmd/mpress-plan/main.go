@@ -1,13 +1,21 @@
 // Command mpress-plan computes, inspects, persists and visualizes the
-// memory-compaction plan MPress produces for a training job.
+// memory-compaction plan MPress produces for a training job — or, with
+// -auto, searches the whole strategy space for the fastest one.
 //
 // Usage:
 //
 //	mpress-plan -model bert-1.67B -topo dgx1 -mb 12
 //	mpress-plan -model gpt-10.3B -schedule dapple -gantt
+//	mpress-plan -model bert-0.64B -system recompute
+//	mpress-plan -model bert-1.67B -auto
 //	mpress-plan -model bert-0.64B -save plan.json
 //	mpress-plan -model bert-0.64B -load plan.json -trace run.trace.json
 //	mpress-plan -model bert-1.67B -remote http://127.0.0.1:7323
+//
+// -auto runs the planner-v2 branch-and-bound over (system, stage
+// count, partition strategy, TP degree), prints the winning strategy,
+// its plan, and the search report (nodes expanded / pruned / memo
+// hits). The winner is byte-identical at every -workers setting.
 //
 // Saved plans record the job's canonical fingerprint as their label;
 // loading a plan under a different job is refused unless -force is
@@ -22,6 +30,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -56,9 +65,12 @@ func parseModel(name string) (model.Config, error) {
 func main() {
 	modelName := flag.String("model", "bert-1.67B", "model: bert-<size> or gpt-<size>")
 	topoName := flag.String("topo", "dgx1", "topology, one of: "+strings.Join(hw.TopologyNames(), ", "))
-	schedule := flag.String("schedule", "", "schedule: pipedream, dapple or gpipe (default by family)")
+	schedule := flag.String("schedule", "", "schedule, one of: "+strings.Join(pipeline.ScheduleNames(), ", ")+" (default by family)")
+	systemName := flag.String("system", "mpress", "training system, one of: "+strings.Join(runner.SystemNames(), ", "))
 	mb := flag.Int("mb", 0, "microbatch size (default 12 for Bert, 2 for GPT)")
 	tp := flag.Int("tp", 0, "tensor-parallel degree (0 or 1: no TP)")
+	auto := flag.Bool("auto", false, "auto-search the whole strategy space instead of planning one preset")
+	workers := flag.Int("workers", 0, "auto-search evaluation workers (0 = GOMAXPROCS; the winner is identical at any setting)")
 	saveTo := flag.String("save", "", "write the computed plan as JSON to this file")
 	loadFrom := flag.String("load", "", "load a previously saved plan instead of planning")
 	force := flag.Bool("force", false, "load a plan even if its job label mismatches this job")
@@ -79,16 +91,14 @@ func main() {
 	if m.Arch == model.GPT {
 		kind = pipeline.DAPPLE
 	}
-	switch strings.ToLower(*schedule) {
-	case "":
-	case "pipedream":
-		kind = pipeline.PipeDream
-	case "dapple":
-		kind = pipeline.DAPPLE
-	case "gpipe":
-		kind = pipeline.GPipe
-	default:
-		fail("schedule %q: want pipedream, dapple or gpipe", *schedule)
+	if *schedule != "" {
+		if kind, err = pipeline.LookupSchedule(*schedule); err != nil {
+			fail("%v", err)
+		}
+	}
+	sys, err := runner.LookupSystem(*systemName)
+	if err != nil {
+		fail("%v", err)
 	}
 	micro := *mb
 	if micro == 0 {
@@ -104,10 +114,29 @@ func main() {
 		Topology:       topo,
 		Model:          m,
 		Schedule:       kind,
-		System:         runner.SystemMPress,
+		System:         sys,
 		MicrobatchSize: micro,
 		TPDegree:       *tp,
 	}
+
+	if *auto {
+		res, err := runAuto(os.Stdout, cfg, *tp, *workers)
+		if err != nil {
+			fail("%v", err)
+		}
+		if res.Best() == nil {
+			os.Exit(3)
+		}
+		if *saveTo != "" {
+			wj, err := runner.NewJob(*res.WinnerConfig)
+			if err != nil {
+				fail("%v", err)
+			}
+			savePlan(wj, res.WinnerReport.Plan, *saveTo)
+		}
+		return
+	}
+
 	job, err := runner.NewJob(cfg)
 	if err != nil {
 		fail("%v", err)
@@ -346,15 +375,19 @@ func savePlan(job *runner.Job, pl *plan.Plan, path string) {
 }
 
 func printPlan(pl *plan.Plan) {
-	fmt.Printf("device mapping (stage -> GPU): %v\n", pl.Mapping)
-	fmt.Println("memory-saving plan:")
+	writePlan(os.Stdout, pl)
+}
+
+func writePlan(w io.Writer, pl *plan.Plan) {
+	fmt.Fprintf(w, "device mapping (stage -> GPU): %v\n", pl.Mapping)
+	fmt.Fprintln(w, "memory-saving plan:")
 	for _, mech := range []plan.Mechanism{plan.MechRecompute, plan.MechHostSwap, plan.MechD2D} {
 		saved := pl.SavedByMech[mech]
 		r := pl.StageRange[mech]
 		if r[0] < 0 {
-			fmt.Printf("  %-14v not used\n", mech)
+			fmt.Fprintf(w, "  %-14v not used\n", mech)
 			continue
 		}
-		fmt.Printf("  %-14v stages %d-%d, saves %v\n", mech, r[0], r[1], saved)
+		fmt.Fprintf(w, "  %-14v stages %d-%d, saves %v\n", mech, r[0], r[1], saved)
 	}
 }

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mpress/internal/hw"
+	"mpress/internal/model"
+	"mpress/internal/pipeline"
+	"mpress/internal/runner"
+)
+
+func autoBase(t *testing.T) runner.Config {
+	t.Helper()
+	m, err := model.BertVariant("0.64B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runner.Config{
+		Topology:       hw.DGX1(),
+		Model:          m,
+		Schedule:       pipeline.PipeDream,
+		System:         runner.SystemMPress,
+		MicrobatchSize: 12,
+	}
+}
+
+// An infeasible -tp (3 does not divide an 8-GPU world) must surface in
+// the -auto report as typed grid skips — never a panic — while the
+// feasible axes still produce a winner and a plan.
+func TestAutoInfeasibleTPIsTypedSkip(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := runAuto(&buf, autoBase(t), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best() == nil {
+		t.Fatal("feasible strategies exist; want a winner")
+	}
+	out := buf.String()
+	for _, want := range []string{"[grid]", "skipped:", "chosen strategy:", "memory-saving plan:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	gridSkips := 0
+	for i := range res.Candidates {
+		c := &res.Candidates[i]
+		if c.SkipReason == "grid" {
+			gridSkips++
+			if c.Raw.TP != 3 {
+				t.Fatalf("grid skip for unexpected TP %d: %+v", c.Raw.TP, c)
+			}
+		}
+	}
+	if gridSkips == 0 {
+		t.Fatal("tp=3 produced no grid skips")
+	}
+}
+
+// The -tp axis folds into the default space exactly once.
+func TestAutoSpaceFoldsTPFlag(t *testing.T) {
+	base := autoBase(t)
+	sp := autoSpace(base, 2) // already in the default axis
+	if got := len(sp.TPDegrees); got != 2 {
+		t.Fatalf("tp=2 duplicated the axis: %v", sp.TPDegrees)
+	}
+	sp = autoSpace(base, 4)
+	found := false
+	for _, d := range sp.TPDegrees {
+		if d == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tp=4 missing from the axis: %v", sp.TPDegrees)
+	}
+}

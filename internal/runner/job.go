@@ -253,6 +253,10 @@ func (c Config) WithDefaults() (Config, error) {
 	if c.Replicas() > 1 && c.AllReduceBuckets == 0 {
 		c.AllReduceBuckets = 4
 	}
+	if !KnownSystem(c.System) {
+		return c, fmt.Errorf("mpress: unknown system %v (valid systems: %s)",
+			c.System, strings.Join(SystemNames(), ", "))
+	}
 	if c.Topology == nil {
 		return c, fmt.Errorf("mpress: Topology is required")
 	}

@@ -3,6 +3,7 @@ package runner
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"mpress/internal/cluster"
 	"mpress/internal/exec"
@@ -185,7 +186,8 @@ func allowedFor(s System) (plan.Allowed, error) {
 	case SystemMPress:
 		return plan.AllMechanisms(), nil
 	default:
-		return plan.Allowed{}, fmt.Errorf("mpress: unknown system %v", s)
+		return plan.Allowed{}, fmt.Errorf("mpress: unknown system %v (valid systems: %s)",
+			s, strings.Join(SystemNames(), ", "))
 	}
 }
 

@@ -46,6 +46,20 @@ func LookupSystem(name string) (System, error) {
 		name, strings.Join(SystemNames(), ", "))
 }
 
+// KnownSystem reports whether s is one of the registered training
+// systems — the validation gate behind Config.WithDefaults, so an
+// out-of-range System value (e.g. from hand-built JSON) fails at
+// config time with the full name list instead of deep inside the
+// stage pipeline.
+func KnownSystem(s System) bool {
+	for _, p := range systemPresets {
+		if p.sys == s {
+			return true
+		}
+	}
+	return false
+}
+
 // SystemName returns the CLI name of a system (the inverse of
 // LookupSystem), or its String form for unknown values.
 func SystemName(s System) string {

@@ -1,0 +1,65 @@
+package search
+
+import (
+	"testing"
+
+	"mpress/internal/pipeline"
+	"mpress/internal/runner"
+)
+
+// FuzzDecodeKey mirrors the plan-serialization fuzz test: DecodeKey
+// must never panic on arbitrary input, and any input it accepts must
+// re-encode byte-identically (the strictness that makes the encoding
+// a sound transposition/cache key).
+func FuzzDecodeKey(f *testing.F) {
+	f.Add("v1;sys=mpress;tp=1;stages=8;part=compute-balanced;nodes=1;ckpt=-1")
+	f.Add("v1;sys=plain;tp=2;stages=4;part=memory-balanced;nodes=4;ckpt=0")
+	f.Add("v1;sys=zero3;tp=1;stages=16;part=compute-balanced;nodes=2;ckpt=30000000000")
+	f.Add("v1;sys=MPRESS;tp=01;stages=+8;part=compute-balanced;nodes=1;ckpt=-1")
+	f.Add("")
+	f.Add("v1;;;;;;")
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := DecodeKey(s)
+		if err != nil {
+			return
+		}
+		if enc := k.Encode(); enc != s {
+			t.Fatalf("accepted %q but re-encodes to %q", s, enc)
+		}
+		// And accepted keys are stable: a second round trip is exact.
+		k2, err := DecodeKey(k.Encode())
+		if err != nil || k2 != k {
+			t.Fatalf("round trip of accepted key %q failed: %+v, %v", s, k2, err)
+		}
+	})
+}
+
+// FuzzKeyEncode drives the inverse direction: every structurally
+// plausible Key must encode to something DecodeKey accepts and
+// returns unchanged.
+func FuzzKeyEncode(f *testing.F) {
+	f.Add(int(runner.SystemMPress), 1, 8, int(pipeline.ComputeBalanced), 1, int64(-1))
+	f.Add(int(runner.SystemPlain), 2, 4, int(pipeline.MemoryBalanced), 4, int64(0))
+	f.Fuzz(func(t *testing.T, sys, tp, stages, part, nodes int, ckpt int64) {
+		k := Key{
+			System: runner.System(sys), TP: tp, Stages: stages,
+			Partition: pipeline.Strategy(part), Nodes: nodes, CheckpointNS: ckpt,
+		}
+		// Only registered enum values have canonical names; others
+		// (e.g. System(99)) encode to their Go String form, which the
+		// decoder rightly rejects.
+		if !runner.KnownSystem(k.System) {
+			return
+		}
+		if _, err := pipeline.LookupStrategy(pipeline.StrategyName(k.Partition)); err != nil {
+			return
+		}
+		got, err := DecodeKey(k.Encode())
+		if err != nil {
+			t.Fatalf("Encode %+v -> %q rejected: %v", k, k.Encode(), err)
+		}
+		if got != k {
+			t.Fatalf("round trip %+v -> %q -> %+v", k, k.Encode(), got)
+		}
+	})
+}

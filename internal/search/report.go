@@ -1,0 +1,90 @@
+package search
+
+import (
+	"fmt"
+	"io"
+
+	"mpress/internal/units"
+)
+
+// WriteReport renders the canonical search report: the winner, the
+// counters, every priced candidate in rank order, and the skipped
+// candidates aggregated by typed reason. Everything printed is
+// derived from the deterministic Result fields (never Wall), so the
+// bytes are identical at every worker count — the determinism tests
+// compare this rendering directly.
+func WriteReport(w io.Writer, r *Result) {
+	fmt.Fprintf(w, "auto-search: %d candidates, workload %d samples, base %s\n",
+		r.SpaceSize, r.Workload, r.BaseFingerprint)
+	if best := r.Best(); best != nil {
+		fmt.Fprintf(w, "winner: %s\n", best.Key)
+		fmt.Fprintf(w, "  time-to-fit %s  (%.3f samples/sec effective)  fingerprint %s\n",
+			fmtDur(best.TimeToFit), best.Eval.EffSamplesPerSec, best.Fingerprint)
+	} else {
+		fmt.Fprintf(w, "winner: none — no feasible strategy in the space\n")
+	}
+	fmt.Fprintf(w, "search: %d expanded, %d pruned, %d memo hits, %d skipped, %d incumbent updates\n",
+		r.Expanded, r.Pruned, r.MemoHits, r.Skipped, r.Updates)
+
+	fmt.Fprintf(w, "candidates:\n")
+	for i := range r.Candidates {
+		c := &r.Candidates[i]
+		switch c.Outcome {
+		case OutcomeEvaluated, OutcomeMemo:
+			mark := " "
+			if r.Winner == c.Rank {
+				mark = "*"
+			}
+			ttf := fmtDur(c.TimeToFit)
+			if c.Eval != nil && c.Eval.OOM {
+				ttf = "oom"
+			}
+			fmt.Fprintf(w, "%s %3d  %-9s  %12s  %s\n", mark, c.Rank, c.Outcome, ttf, c.Key)
+		case OutcomePruned:
+			fmt.Fprintf(w, "  %3d  %-9s  %12s  %s\n", c.Rank, c.Outcome,
+				">="+fmtDur(c.Bound), c.Key)
+		}
+	}
+
+	// Aggregate skips by (reason, detail) in first-appearance order —
+	// an infeasible axis value usually repeats across the product.
+	type bucket struct {
+		reason SkipReason
+		detail string
+		count  int
+	}
+	var buckets []bucket
+	for i := range r.Candidates {
+		c := &r.Candidates[i]
+		if c.Outcome != OutcomeSkipped && c.Outcome != OutcomeInfeasible {
+			continue
+		}
+		found := false
+		for bi := range buckets {
+			if buckets[bi].reason == c.SkipReason && buckets[bi].detail == c.Detail {
+				buckets[bi].count++
+				found = true
+				break
+			}
+		}
+		if !found {
+			buckets = append(buckets, bucket{c.SkipReason, c.Detail, 1})
+		}
+	}
+	if len(buckets) > 0 {
+		fmt.Fprintf(w, "skipped:\n")
+		for _, b := range buckets {
+			fmt.Fprintf(w, "  [%s] ×%d: %s\n", b.reason, b.count, b.detail)
+		}
+	}
+}
+
+// fmtDur renders a duration for the report: seconds with millisecond
+// precision, stable across magnitudes (units.Duration.String switches
+// units, which makes columns jumpy).
+func fmtDur(d units.Duration) string {
+	if d >= units.MaxDuration {
+		return "inf"
+	}
+	return fmt.Sprintf("%.3fs", d.Secondsf())
+}

@@ -13,6 +13,7 @@ import (
 
 	"mpress/internal/plan"
 	"mpress/internal/runner"
+	"mpress/internal/search"
 )
 
 // Paths of the v1 API.
@@ -27,6 +28,15 @@ const (
 	// fingerprint, PUT stores them. Peers exchange entries only when
 	// their X-MPress-Cache-Version headers agree.
 	PathCache = "/v1/cache"
+	// PathSearch is the planner-v2 auto-search endpoint: POST a
+	// SearchRequest, get back the deterministic whole-strategy search
+	// result (winner, plan, counters).
+	PathSearch = "/v1/search"
+	// PathSearchCache is the fleet transposition-table tier:
+	// GET/PUT /v1/cache/search/{fp} exchange one strategy evaluation
+	// keyed by its job fingerprint, under the same fail-closed
+	// X-MPress-Cache-Version gate as the plan tier.
+	PathSearchCache = PathCache + "/search"
 )
 
 // Fleet headers.
@@ -151,6 +161,27 @@ func (r *PlanResponse) CanonicalPlanFile() ([]byte, error) {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// SearchRequest submits one base config for whole-strategy
+// auto-search (internal/search).
+type SearchRequest struct {
+	// Config is the base job; empty Space axes inherit its values.
+	Config runner.Config `json:"config"`
+	// Space is the strategy space to enumerate. Nil searches the
+	// default space (search.DefaultSpace of the base config).
+	Space *search.Space `json:"space,omitempty"`
+	// Timeout bounds the search server-side, as in PlanRequest.
+	Timeout string `json:"timeout,omitempty"`
+}
+
+// SearchResponse is the outcome of one auto-search.
+type SearchResponse struct {
+	// Result is the canonical search result: every candidate, the
+	// winner config and report, and the expanded/pruned/memo counters.
+	Result *search.Result `json:"result"`
+	// ElapsedMS is the search's wall-clock on the daemon.
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // SweepRequest submits a batch of jobs; results come back in input

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"mpress/internal/runner"
+	"mpress/internal/search"
 	"mpress/internal/serve/api"
 )
 
@@ -155,6 +156,19 @@ func (c *Client) PlanWait(ctx context.Context, cfg runner.Config, timeout string
 func (c *Client) Sweep(ctx context.Context, cfgs []runner.Config, timeout string) (*api.SweepResponse, error) {
 	var resp api.SweepResponse
 	err := c.post(ctx, api.PathSweep, api.SweepRequest{Configs: cfgs, Timeout: timeout}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Search submits one base config for whole-strategy auto-search. A
+// nil space searches the daemon's default space for the config; the
+// returned result carries every candidate, the winner config and
+// report, and the search counters.
+func (c *Client) Search(ctx context.Context, cfg runner.Config, space *search.Space, timeout string) (*api.SearchResponse, error) {
+	var resp api.SearchResponse
+	err := c.post(ctx, api.PathSearch, api.SearchRequest{Config: cfg, Space: space, Timeout: timeout}, &resp)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+
+	"mpress/internal/fleet"
+	"mpress/internal/pipeline"
+	"mpress/internal/runner"
+	"mpress/internal/search"
+	"mpress/internal/serve/api"
+	"mpress/internal/serve/client"
+)
+
+// smallSearchSpace keeps daemon search tests cheap but real: two
+// systems, two stage counts, one partition strategy.
+func smallSearchSpace() *search.Space {
+	return &search.Space{
+		Systems:     []runner.System{runner.SystemRecompute, runner.SystemPlain},
+		StageCounts: []int{0, 4},
+		Partitions:  []pipeline.Strategy{pipeline.ComputeBalanced},
+	}
+}
+
+// POST /v1/search runs a whole-strategy search on the daemon and
+// returns the canonical result; a repeat request is served from the
+// daemon's transposition table without re-simulating.
+func TestServerSearch(t *testing.T) {
+	s := New(Options{Runner: runner.Options{Workers: 2}, Logger: testLogger(t)})
+	cl, cancel, wait := startDaemon(t, s)
+	defer func() { cancel(); _ = wait(); cl.HTTPClient.CloseIdleConnections() }()
+
+	cfg := testConfig(t, runner.SystemMPress)
+	cold, err := cl.Search(context.Background(), cfg, smallSearchSpace(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := cold.Result
+	if r == nil || r.Winner < 0 {
+		t.Fatalf("no winner: %+v", r)
+	}
+	if r.Expanded == 0 {
+		t.Fatalf("cold search expanded nothing: %+v", r)
+	}
+	if r.WinnerReport == nil || r.WinnerConfig == nil {
+		t.Fatal("winner config/report missing from the wire result")
+	}
+
+	warm, err := cl.Search(context.Background(), cfg, smallSearchSpace(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Result.Expanded != 0 {
+		t.Fatalf("warm search re-simulated %d strategies", warm.Result.Expanded)
+	}
+	if warm.Result.MemoHits == 0 {
+		t.Fatal("warm search hit nothing")
+	}
+	cw, ww := r.Best(), warm.Result.Best()
+	if cw.Key != ww.Key || cw.TimeToFit != ww.TimeToFit {
+		t.Fatalf("warm winner differs: %+v vs %+v", cw, ww)
+	}
+}
+
+// An invalid base config is a 400, not a crash or a 500.
+func TestServerSearchBadConfig(t *testing.T) {
+	s := New(Options{Runner: runner.Options{Workers: 1}, Logger: testLogger(t)})
+	cl, cancel, wait := startDaemon(t, s)
+	defer func() { cancel(); _ = wait(); cl.HTTPClient.CloseIdleConnections() }()
+
+	cfg := testConfig(t, runner.System(99)) // unregistered system
+	_, err := cl.Search(context.Background(), cfg, smallSearchSpace(), "")
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("want 400 api.Error, got %v", err)
+	}
+	if !strings.Contains(apiErr.Message, "valid systems") {
+		t.Fatalf("error does not enumerate valid systems: %v", apiErr)
+	}
+}
+
+// The plan endpoint shares the same validation: an unregistered
+// system integer is a 400 whose message enumerates the valid names
+// (the same registry the CLI help derives from), not a 422 or a 500.
+func TestServerPlanUnknownSystem(t *testing.T) {
+	s := New(Options{Runner: runner.Options{Workers: 1}, Logger: testLogger(t)})
+	cl, cancel, wait := startDaemon(t, s)
+	defer func() { cancel(); _ = wait(); cl.HTTPClient.CloseIdleConnections() }()
+
+	_, err := cl.Plan(context.Background(), testConfig(t, runner.System(99)), "")
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("want 400 api.Error, got %v", err)
+	}
+	for _, name := range runner.SystemNames() {
+		if !strings.Contains(apiErr.Message, name) {
+			t.Fatalf("error message missing system %q: %v", name, apiErr)
+		}
+	}
+}
+
+// In a fleet, evaluations flow through the shared transposition tier:
+// a search on peer B after the same search on peer A simulates
+// nothing, and the two canonical results are byte-identical.
+func TestFleetSearchTier(t *testing.T) {
+	tf := startFleet(t, 2, "epoch-1")
+	defer tf.shutdown(t)
+
+	cfg := testConfig(t, runner.SystemMPress)
+	ra, err := tf.peerClient(0).Search(context.Background(), cfg, smallSearchSpace(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Result.Expanded == 0 {
+		t.Fatalf("peer A expanded nothing: %+v", ra.Result)
+	}
+	rb, err := tf.peerClient(1).Search(context.Background(), cfg, smallSearchSpace(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Result.Expanded != 0 {
+		t.Fatalf("peer B re-simulated %d strategies despite the tier", rb.Result.Expanded)
+	}
+	if rb.Result.MemoHits == 0 {
+		t.Fatal("peer B hit nothing")
+	}
+
+	canonicalize := func(r *search.Result) []byte {
+		cp := *r
+		cp.Wall = 0
+		// The memo/expanded split legitimately differs between a cold
+		// and a tier-served search; the strategy outcomes must not.
+		cp.Expanded, cp.MemoHits = 0, 0
+		for i := range cp.Candidates {
+			if cp.Candidates[i].Outcome == search.OutcomeMemo {
+				cp.Candidates[i].Outcome = search.OutcomeEvaluated
+			}
+		}
+		var buf bytes.Buffer
+		search.WriteReport(&buf, &cp)
+		js, err := json.MarshalIndent(&cp, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(js)
+		return buf.Bytes()
+	}
+	ba, bb := canonicalize(ra.Result), canonicalize(rb.Result)
+	if !bytes.Equal(ba, bb) {
+		t.Fatalf("fleet peers disagree on the search result:\n--- A ---\n%s\n--- B ---\n%s", ba, bb)
+	}
+
+	served := tf.servers[0].searchTierServes.Load() + tf.servers[1].searchTierServes.Load()
+	pushed := tf.servers[0].searchTierPushes.Load() + tf.servers[1].searchTierPushes.Load()
+	if served+pushed == 0 {
+		t.Fatal("no transposition entries crossed the tier")
+	}
+}
+
+// A version mismatch fails the tier closed: the skewed peer evaluates
+// locally (correct, just slower) and the refused exchanges are
+// counted.
+func TestFleetSearchTierVersionMismatch(t *testing.T) {
+	// Two peers that agree on membership but not on the epoch, so their
+	// cache versions differ and every tier exchange between them is
+	// refused with 412.
+	lns := make([]net.Listener, 2)
+	urls := make([]string, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	epochs := []string{"epoch-1", "epoch-2"}
+	servers := make([]*Server, 2)
+	for i := range servers {
+		fl, err := fleet.New(urls[i], urls, epochs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(Options{Runner: runner.Options{Workers: 2}, Fleet: fl, Logger: testLogger(t)})
+		ctx, cancel := context.WithCancel(context.Background())
+		errc := make(chan error, 1)
+		go func(s *Server, ln net.Listener) { errc <- s.Serve(ctx, ln) }(s, lns[i])
+		defer func() { cancel(); <-errc }()
+		servers[i] = s
+	}
+	peerClient := func(i int) *client.Client {
+		cl := client.New(urls[i])
+		cl.HTTPClient = &http.Client{Transport: &http.Transport{}}
+		return cl
+	}
+
+	cfg := testConfig(t, runner.SystemMPress)
+	if _, err := peerClient(0).Search(context.Background(), cfg, smallSearchSpace(), ""); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := peerClient(1).Search(context.Background(), cfg, smallSearchSpace(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Result.Winner < 0 {
+		t.Fatalf("skewed peer found no winner: %+v", rb.Result)
+	}
+	if rb.Result.Expanded == 0 {
+		t.Fatal("skewed peer should have evaluated locally, not hit the tier")
+	}
+	rejects := servers[0].cacheTierRejects.Load() + servers[1].cacheTierRejects.Load()
+	if rejects == 0 {
+		t.Fatal("no version rejects counted despite the skew")
+	}
+}

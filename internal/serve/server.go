@@ -32,6 +32,7 @@ import (
 	"mpress/internal/fleet"
 	"mpress/internal/mapping"
 	"mpress/internal/runner"
+	"mpress/internal/search"
 	"mpress/internal/serve/api"
 	"mpress/internal/trace"
 )
@@ -96,6 +97,11 @@ type Server struct {
 	peers *http.Client
 	sf    fleet.Group
 
+	// searchTab is the daemon's transposition table for /v1/search: one
+	// strategy evaluation per job fingerprint, shared across searches
+	// (and, in a fleet, exchanged with peers over /v1/cache/search).
+	searchTab *search.MemTable
+
 	// Fleet counters (all zero when standalone; the metric families are
 	// emitted regardless so dashboards need no fleet-conditional logic).
 	forwardsSent     atomic.Int64
@@ -108,6 +114,10 @@ type Server struct {
 	cacheTierPushes  atomic.Int64
 	cacheTierRejects atomic.Int64
 	hedgesReceived   atomic.Int64
+	searchTierHits   atomic.Int64
+	searchTierMisses atomic.Int64
+	searchTierServes atomic.Int64
+	searchTierPushes atomic.Int64
 
 	// runJob executes one job; tests stub it to make service time
 	// controllable.
@@ -146,6 +156,8 @@ func New(opts Options) *Server {
 		logger: opts.Logger,
 		fleet:  opts.Fleet,
 		peers:  &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}},
+
+		searchTab: search.NewMemTable(),
 	}
 	s.runJob = func(ctx context.Context, j *runner.Job) runner.JobResult {
 		return s.runner.RunKeep(ctx, j)
@@ -157,8 +169,13 @@ func New(opts Options) *Server {
 	mux.HandleFunc("GET "+api.PathJobs+"/{id}/trace", s.instrument("trace", s.handleTrace))
 	mux.HandleFunc("GET "+api.PathHealthz, s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET "+api.PathMetrics, s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("POST "+api.PathSearch, s.instrument("search", s.handleSearch))
 	mux.HandleFunc("GET "+api.PathCache+"/{key}", s.instrument("cache_get", s.handleCacheGet))
 	mux.HandleFunc("PUT "+api.PathCache+"/{key}", s.instrument("cache_put", s.handleCachePut))
+	// The literal "search" segment is more specific than {key}, so the
+	// transposition tier wins these paths over the plan tier.
+	mux.HandleFunc("GET "+api.PathSearchCache+"/{fp}", s.instrument("search_cache_get", s.handleSearchCacheGet))
+	mux.HandleFunc("PUT "+api.PathSearchCache+"/{fp}", s.instrument("search_cache_put", s.handleSearchCachePut))
 	s.mux = mux
 	return s
 }
@@ -583,6 +600,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gauge{"mpressd_fleet_cache_tier_pushes_total", "counter", "Freshly computed plans pushed to their plan-key owner.", float64(s.cacheTierPushes.Load())},
 		gauge{"mpressd_fleet_cache_tier_rejects_total", "counter", "Cache-tier requests refused for a version mismatch.", float64(s.cacheTierRejects.Load())},
 		gauge{"mpressd_hedges_received_total", "counter", "Plan requests marked as client hedges.", float64(s.hedgesReceived.Load())},
+		gauge{"mpressd_search_table_entries", "gauge", "Strategy evaluations in the auto-search transposition table.", float64(s.searchTab.Len())},
+		gauge{"mpressd_fleet_search_tier_hits_total", "counter", "Strategy evaluations seeded from a peer's transposition table.", float64(s.searchTierHits.Load())},
+		gauge{"mpressd_fleet_search_tier_misses_total", "counter", "Transposition-tier lookups that found no usable peer entry.", float64(s.searchTierMisses.Load())},
+		gauge{"mpressd_fleet_search_tier_serves_total", "counter", "Strategy evaluations served to peers over /v1/cache/search.", float64(s.searchTierServes.Load())},
+		gauge{"mpressd_fleet_search_tier_pushes_total", "counter", "Freshly evaluated strategies pushed to their fingerprint owner.", float64(s.searchTierPushes.Load())},
 	)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.writeText(w, gauges)

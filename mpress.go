@@ -36,6 +36,7 @@ import (
 	"mpress/internal/pipeline"
 	"mpress/internal/plan"
 	"mpress/internal/runner"
+	"mpress/internal/search"
 	"mpress/internal/tensor"
 	"mpress/internal/units"
 )
@@ -331,6 +332,60 @@ func NewRunner(opts RunnerOptions) *Runner { return runner.New(opts) }
 
 // NewJob validates a Config into a runnable, fingerprinted Job.
 func NewJob(cfg Config) (*Job, error) { return runner.NewJob(cfg) }
+
+// The planner-v2 auto-search layer (internal/search): a deterministic
+// branch-and-bound over whole training strategies — (system, TP
+// degree, stage count, partition, replica count, checkpoint interval)
+// — minimizing time-to-fit of the base config's workload. The winner
+// is byte-identical at every worker count. See "Auto-search" in the
+// README.
+type (
+	// SearchSpace is the cartesian strategy space to enumerate; empty
+	// axes inherit the base config's value.
+	SearchSpace = search.Space
+	// SearchOptions tunes one search (workers, transposition table).
+	SearchOptions = search.Options
+	// SearchResult is the canonical search outcome: every candidate,
+	// the winner, and the expanded/pruned/memo counters.
+	SearchResult = search.Result
+	// SearchKey is a strategy's canonical identity ("v1;sys=…" wire
+	// form; see EncodeSearchKey/DecodeSearchKey).
+	SearchKey = search.Key
+	// SearchEval is one transposition-table entry (the strategy's
+	// effective training rate, or OOM).
+	SearchEval = search.Eval
+	// SearchTable is the transposition-table interface; NewSearchTable
+	// returns the in-process implementation.
+	SearchTable = search.Table
+	// SearchCandidate is one enumerated strategy and what became of it.
+	SearchCandidate = search.Candidate
+	// SearchOutcome classifies what the searcher did with a candidate.
+	SearchOutcome = search.Outcome
+)
+
+// Search candidate outcomes.
+const (
+	SearchEvaluated  = search.OutcomeEvaluated
+	SearchMemo       = search.OutcomeMemo
+	SearchPruned     = search.OutcomePruned
+	SearchSkipped    = search.OutcomeSkipped
+	SearchInfeasible = search.OutcomeInfeasible
+)
+
+var (
+	// AutoSearch runs one whole-strategy search over a space.
+	AutoSearch = search.Run
+	// DefaultSearchSpace is the space `mpress-plan -auto` searches.
+	DefaultSearchSpace = search.DefaultSpace
+	// NewSearchTable returns an empty in-process transposition table;
+	// share one across searches to memoize repeated strategies.
+	NewSearchTable = search.NewMemTable
+	// WriteSearchReport renders a result's canonical report.
+	WriteSearchReport = search.WriteReport
+	// DecodeSearchKey parses the canonical key wire form, rejecting
+	// any encoding that is not byte-exact.
+	DecodeSearchKey = search.DecodeKey
+)
 
 // Train simulates one training job under the configured system and
 // returns its report. OOM is reported in the Report (matching how the
