@@ -1,0 +1,87 @@
+package exec
+
+// partition.go maps the executor's event space onto conservative-PDES
+// partitions (internal/sim/pdes.go) and documents, per event class, why
+// the graph cascade rides the coordinator partition.
+//
+// The executor's event classes:
+//
+//   - dispatch/complete: the operator cascade. A completion decrements
+//     successor predecessor-counts and dispatches newly-ready ops
+//     inline — including ops on *other* devices (a stage boundary's
+//     activation handoff readies the next stage's op at the same
+//     simulated instant). That is zero-lookahead cross-device coupling.
+//   - memory accounting: alloc/free against memsim devices, performed
+//     synchronously inside dispatch/complete — same class.
+//   - fabric reservations: lane bookings are arithmetic against lane
+//     timelines (no events of their own); only their completion
+//     callbacks are events, scheduled by the op that reserved them.
+//   - gradient sync: cluster.NewNet's collectives run on the shared
+//     clock and gate optimizer steps across stages — cross-device by
+//     construction.
+//   - checkpoint/failure: global control events.
+//
+// Every class either couples devices at zero delay or is global, so
+// partitioning the cascade by device would force the PDES window to a
+// zero lookahead — no parallel window at all. The honest mapping is
+// therefore: all graph events on partition 0 (the coordinator), one
+// (empty) partition per device for symmetry with the grid placement.
+// Byte-identity versus the serial kernel holds trivially and is still
+// enforced end-to-end by the simkernel smoke test; the parallel-window
+// machinery is exercised at the kernel level (internal/sim/pdes_test.go)
+// and by the simkernel experiment's replica workload, where real
+// lookahead exists (NIC latency between nodes).
+//
+// Measured on this container's graphs, that is also the right call:
+// consecutive events on one device are tens of microseconds apart while
+// the minimum link latency is 5–20µs, so a per-device partitioning
+// would average roughly one event per window — all barrier, no overlap.
+
+import (
+	"mpress/internal/fabric"
+	"mpress/internal/hw"
+	"mpress/internal/units"
+)
+
+// PartitionPlan is the executor's event-space partitioning for
+// conservative PDES.
+type PartitionPlan struct {
+	// Partitions is the total count: partition 0 is the coordinator
+	// (all graph events), partitions 1..N map the distinct mapped
+	// devices in ascending ID order.
+	Partitions int
+	// Device maps each mapped GPU to its partition index.
+	Device map[hw.DeviceID]int
+	// Lookahead is the window span: the caller's override, or the
+	// topology's minimum nonzero link latency.
+	Lookahead units.Duration
+}
+
+// PlanPartitions derives the PDES partition layout for a run: one
+// coordinator partition plus one per distinct mapped device, with the
+// lookahead taken from the topology's fastest link unless overridden.
+func PlanPartitions(topo *hw.Topology, mapping []hw.DeviceID, lookahead units.Duration) PartitionPlan {
+	if lookahead <= 0 {
+		lookahead = fabric.MinLinkLatency(topo)
+	}
+	seen := make(map[hw.DeviceID]bool, len(mapping))
+	var devs []hw.DeviceID
+	for _, d := range mapping {
+		if !seen[d] {
+			seen[d] = true
+			devs = append(devs, d)
+		}
+	}
+	// Ascending device order keeps the layout canonical for any
+	// permutation of the same mapping.
+	for i := 1; i < len(devs); i++ {
+		for j := i; j > 0 && devs[j] < devs[j-1]; j-- {
+			devs[j], devs[j-1] = devs[j-1], devs[j]
+		}
+	}
+	pp := PartitionPlan{Partitions: 1 + len(devs), Device: make(map[hw.DeviceID]int, len(devs)), Lookahead: lookahead}
+	for i, d := range devs {
+		pp.Device[d] = i + 1
+	}
+	return pp
+}

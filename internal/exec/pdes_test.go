@@ -1,0 +1,108 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"mpress/internal/hw"
+	"mpress/internal/pipeline"
+	"mpress/internal/sim"
+	"mpress/internal/units"
+)
+
+// stripKernelStats zeroes the fields that describe the simulator rather
+// than the job (real-time rates, scheduler name, window counts) so the
+// rest of the Result can be compared structurally.
+func stripKernelStats(r *Result) {
+	r.EventsPerSec = 0
+	r.SimScheduler = ""
+	r.SimWindows = 0
+}
+
+// TestPDESMatchesSerialResult is the exec-level byte-identity check:
+// the full Result — spans, memory peaks, fabric traffic, throughput,
+// event count — is identical with the PDES kernel at several worker
+// counts and under every scheduler, for each pipeline system.
+func TestPDESMatchesSerialResult(t *testing.T) {
+	for _, kind := range []pipeline.ScheduleKind{pipeline.PipeDream, pipeline.DAPPLE} {
+		b := buildTiny(t, kind, 4)
+		base, err := Run(Options{Topo: hw.DGX1(), Built: b, Mapping: IdentityMapping(4)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripKernelStats(base)
+		for _, workers := range []int{1, 2, 8} {
+			for _, sched := range []string{"auto", "heap", "calendar"} {
+				mode, err := sim.ParseSchedMode(sched)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := Run(Options{
+					Topo: hw.DGX1(), Built: b, Mapping: IdentityMapping(4),
+					SimWorkers: workers, SimScheduler: mode,
+				})
+				if err != nil {
+					t.Fatalf("%v workers=%d sched=%s: %v", kind, workers, sched, err)
+				}
+				if got.SimWindows == 0 {
+					t.Fatalf("%v workers=%d: PDES run reported zero windows", kind, workers)
+				}
+				stripKernelStats(got)
+				if !reflect.DeepEqual(base, got) {
+					t.Fatalf("%v workers=%d sched=%s: PDES result diverged from serial", kind, workers, sched)
+				}
+			}
+		}
+	}
+}
+
+// TestPDESMatchesSerialOOM pins the Stop path: an OOM abort halts the
+// PDES run at exactly the serial point (same OOM record, same spans).
+func TestPDESMatchesSerialOOM(t *testing.T) {
+	topo := hw.DGX1()
+	// Just enough memory that setup succeeds and the run OOMs a few
+	// events in — the abort goes through Sim.Stop from inside an event.
+	topo.GPU.Memory = pipeline.RuntimeReserve + 220*units.MiB
+	b := buildTiny(t, pipeline.PipeDream, 4)
+	base, err := Run(Options{Topo: topo, Built: b, Mapping: IdentityMapping(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.OOM == nil {
+		t.Fatal("workload did not OOM; the stop path is untested")
+	}
+	stripKernelStats(base)
+	for _, workers := range []int{1, 8} {
+		got, err := Run(Options{
+			Topo: topo, Built: b, Mapping: IdentityMapping(4), SimWorkers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripKernelStats(got)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d: PDES OOM result diverged from serial", workers)
+		}
+	}
+}
+
+// TestPlanPartitions pins the layout: coordinator plus one partition
+// per distinct device, canonical under mapping permutation, lookahead
+// from the fastest link unless overridden.
+func TestPlanPartitions(t *testing.T) {
+	topo := hw.DGX1()
+	pp := PlanPartitions(topo, []hw.DeviceID{2, 0, 2, 1}, 0)
+	if pp.Partitions != 4 {
+		t.Fatalf("Partitions = %d, want 4", pp.Partitions)
+	}
+	want := map[hw.DeviceID]int{0: 1, 1: 2, 2: 3}
+	if !reflect.DeepEqual(pp.Device, want) {
+		t.Fatalf("Device = %v, want %v", pp.Device, want)
+	}
+	if pp.Lookahead != topo.NVLinkLatency {
+		t.Fatalf("Lookahead = %v, want NVLink latency %v", pp.Lookahead, topo.NVLinkLatency)
+	}
+	if got := PlanPartitions(topo, []hw.DeviceID{0, 1, 2}, 42); got.Lookahead != 42 {
+		t.Fatalf("override Lookahead = %v, want 42", got.Lookahead)
+	}
+}

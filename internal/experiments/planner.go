@@ -68,26 +68,27 @@ func PlannerPresets() []PlannerPreset {
 // plannerWorkerPoints is the PlanWorkers axis the experiment sweeps.
 var plannerWorkerPoints = []int{1, 4}
 
-// trainIsolated runs one job on a fresh single-worker runner so the
+// trainWith runs one job on a fresh single-worker runner built from
+// opts (Workers and OnJobDone are overridden). Isolation means the
 // plan stage is timed cold — the shared runner's plan cache keys plans
-// by config fingerprint (PlanWorkers excluded, since plans are
-// byte-identical at any setting), so reusing it would hand every point
-// after the first a cached plan and time nothing. The observer still
-// sees the job, so -perf records include these points.
-func trainIsolated(cfg mpress.Config) mpress.JobResult {
+// by config fingerprint, so reusing it would hand every point after
+// the first a cached plan and time nothing. The observer still sees
+// the job, so -perf records include these points. Callers that want
+// to share a plan anyway seed the fresh runner explicitly
+// (Runner.SeedPlan), as the simkernel experiment does.
+func trainWith(cfg mpress.Config, opts mpress.RunnerOptions) mpress.JobResult {
 	j, err := mpress.NewJob(cfg)
 	if err != nil {
 		return mpress.JobResult{Err: err}
 	}
-	r := mpress.NewRunner(mpress.RunnerOptions{
-		Workers: 1,
-		OnJobDone: func(jr mpress.JobResult) {
-			if observer != nil {
-				observer(jr)
-			}
-		},
-	})
-	return r.Run(context.Background(), j)
+	opts.Workers = 1
+	opts.OnJobDone = notifyObserver
+	return mpress.NewRunner(opts).Run(context.Background(), j)
+}
+
+// trainIsolated is trainWith at default runner options.
+func trainIsolated(cfg mpress.Config) mpress.JobResult {
+	return trainWith(cfg, mpress.RunnerOptions{})
 }
 
 // Planner measures the refinement loop itself: for each preset and

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"mpress"
+	"mpress/internal/sim"
+	"mpress/internal/units"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "simkernel",
+		Title: "Simulation kernel: calendar queue vs heap, conservative PDES vs serial",
+		Run:   SimKernel,
+	})
+}
+
+// simKernelVariants are the kernel configurations every planner preset
+// is re-run under. The serial auto-scheduler run is the baseline;
+// each variant's report JSON must match it byte for byte.
+var simKernelVariants = []struct {
+	name    string
+	sched   string
+	workers int
+}{
+	{"heap", "heap", 0},
+	{"calendar", "calendar", 0},
+	{"pdes-w8", "auto", 8},
+}
+
+// simKernelRegimes mirrors BenchmarkSimKernel's horizon grid: dense is
+// the executor's µs-scale regime (the calendar queue's home turf),
+// burst packs hundreds of events per tick (the auto fallback case),
+// sparse spreads events over seconds (width adaptation).
+var simKernelRegimes = []struct {
+	name   string
+	maxGap int64
+}{
+	{"dense", 4096},
+	{"burst", 256},
+	{"sparse", 1 << 32},
+}
+
+// SimKernel measures the simulation kernel three ways. First the job
+// level: every planner preset re-run under each scheduler and under
+// the PDES kernel at 8 workers, with the report JSON asserted
+// byte-identical to the serial baseline — the experiment fails on any
+// divergence. Then the kernel level: a synthetic event churn across
+// the horizon regimes, where the calendar queue's dense-horizon win
+// and the burst regime's heap fallback are directly visible. Last the
+// PDES level: a multi-partition replica workload with real lookahead
+// (NIC-scale latency between replicas), identical at every worker
+// count. On a single-core host the parallel runs measure barrier
+// overhead, not speedup; the identity columns are the point.
+func SimKernel(w io.Writer) error {
+	if err := simKernelJobs(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	simKernelChurn(w)
+	fmt.Fprintln(w)
+	return simKernelReplicas(w)
+}
+
+// kernelRunner builds the isolated single-worker runner a variant runs
+// on: artifacts kept so the executor's kernel stats are readable, the
+// observer wired so -perf records cover the job.
+func kernelRunner(workers int, sched string) *mpress.Runner {
+	return mpress.NewRunner(mpress.RunnerOptions{
+		Workers:       1,
+		KeepArtifacts: true,
+		SimWorkers:    workers,
+		SimScheduler:  sched,
+		OnJobDone:     notifyObserver,
+	})
+}
+
+func simKernelJobs(w io.Writer) error {
+	t := newTable("Preset", "Variant", "Scheduler", "Windows", "Events", "Events/s", "Report")
+	row := func(preset, variant string, res mpress.JobResult, verdict string) {
+		ex := res.State.Exec
+		t.add(preset, variant, ex.SimScheduler, fmt.Sprint(ex.SimWindows),
+			fmt.Sprint(ex.Events), fmt.Sprintf("%.0f", ex.EventsPerSec), verdict)
+	}
+	for _, p := range PlannerPresets() {
+		j, err := mpress.NewJob(p.Cfg)
+		if err != nil {
+			return err
+		}
+		baseRunner := kernelRunner(0, "")
+		base := baseRunner.Run(context.Background(), j)
+		if base.Err != nil {
+			return fmt.Errorf("simkernel %s serial: %w", p.Name, base.Err)
+		}
+		baseJSON, err := json.Marshal(base.Report)
+		if err != nil {
+			return err
+		}
+		row(p.Name, "serial", base, "baseline")
+		// Seed each variant's fresh runner with the baseline's plan so
+		// the expensive planner search runs once per preset; plans are
+		// read-only after computation, exactly as the fleet tier shares
+		// them.
+		pl, havePlan := baseRunner.CachedPlan(j.PlanKey())
+		for _, v := range simKernelVariants {
+			vj, err := mpress.NewJob(p.Cfg)
+			if err != nil {
+				return err
+			}
+			r := kernelRunner(v.workers, v.sched)
+			if havePlan {
+				r.SeedPlan(vj.PlanKey(), pl)
+			}
+			res := r.Run(context.Background(), vj)
+			if res.Err != nil {
+				return fmt.Errorf("simkernel %s/%s: %w", p.Name, v.name, res.Err)
+			}
+			got, err := json.Marshal(res.Report)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, baseJSON) {
+				return fmt.Errorf("simkernel %s/%s: report diverged from the serial baseline", p.Name, v.name)
+			}
+			row(p.Name, v.name, res, "identical")
+		}
+	}
+	t.write(w)
+	return nil
+}
+
+// kernelChurn drives the synthetic steady-state churn of
+// BenchmarkSimKernel once: `pending` events stay queued while `churn`
+// more flow through, gaps drawn from one horizon regime.
+func kernelChurn(mode sim.SchedMode, pending, churn int, maxGap int64) sim.Stats {
+	s := sim.Get()
+	defer sim.Put(s)
+	s.SetScheduler(mode)
+	rng := rand.New(rand.NewSource(42))
+	remaining := churn
+	var fn func()
+	fn = func() {
+		if remaining > 0 {
+			remaining--
+			s.After(sim.Time(1+rng.Int63n(maxGap)), fn)
+		}
+	}
+	for j := 0; j < pending; j++ {
+		s.At(sim.Time(1+rng.Int63n(maxGap)), fn)
+	}
+	s.Run()
+	return s.Stats()
+}
+
+func simKernelChurn(w io.Writer) {
+	const pending, churn = 10_000, 200_000
+	t := newTable("Regime", "Mode", "Scheduler", "Events", "Events/s")
+	for _, hz := range simKernelRegimes {
+		for _, mode := range []sim.SchedMode{sim.SchedHeap, sim.SchedCalendar, sim.SchedAuto} {
+			st := kernelChurn(mode, pending, churn, hz.maxGap)
+			t.add(hz.name, mode.String(), st.Scheduler,
+				fmt.Sprint(st.Events), fmt.Sprintf("%.0f", st.EventsPerSec))
+			if kernelObserver != nil {
+				kernelObserver(KernelSample{
+					Bench:        fmt.Sprintf("churn-%s-%dk-%s", hz.name, pending/1000, mode),
+					Scheduler:    st.Scheduler,
+					Events:       st.Events,
+					EventsPerSec: st.EventsPerSec,
+				})
+			}
+		}
+	}
+	t.write(w)
+}
+
+// pdesReplicas runs the multi-partition replica workload: `parts`
+// pipeline replicas each drain a chain of compute steps on their own
+// partition and every third step ships an activation to the ring
+// neighbour at NIC-scale latency — the real-lookahead case the
+// executor's zero-lookahead graph cannot exercise.
+func pdesReplicas(parts, workers, steps int, lookahead units.Duration) (sim.Stats, sim.Time, error) {
+	s := sim.New()
+	err := s.EnablePDES(sim.PDESConfig{Partitions: parts, Lookahead: lookahead, Workers: workers})
+	if err != nil {
+		return sim.Stats{}, 0, err
+	}
+	for p := 0; p < parts; p++ {
+		p := p
+		pt := s.Partition(p)
+		q := sim.NewQueueOn(pt, fmt.Sprintf("replica%d", p))
+		var step func(i int)
+		step = func(i int) {
+			if i >= steps {
+				return
+			}
+			q.Submit(units.Duration(3+i%7), func(start, end sim.Time) {
+				if i%3 == 0 && parts > 1 {
+					pt.Send((p+1)%parts, lookahead+units.Duration(i%5), func() {})
+				}
+				pt.After(units.Duration(1+i%11), func() { step(i + 1) })
+			})
+		}
+		pt.At(units.Duration(p), func() { step(0) })
+	}
+	end := s.Run()
+	return s.Stats(), end, nil
+}
+
+func simKernelReplicas(w io.Writer) error {
+	const parts, steps = 4, 5_000
+	lookahead := 10 * units.Microsecond
+	t := newTable("Partitions", "Workers", "Windows", "Events", "Events/s", "End", "Result")
+	var baseEnd sim.Time
+	var baseEvents int64
+	for _, workers := range []int{1, 2, 4, 8} {
+		st, end, err := pdesReplicas(parts, workers, steps, lookahead)
+		if err != nil {
+			return fmt.Errorf("simkernel replicas (workers=%d): %w", workers, err)
+		}
+		verdict := "baseline"
+		if workers == 1 {
+			baseEnd, baseEvents = end, st.Events
+		} else if end != baseEnd || st.Events != baseEvents {
+			return fmt.Errorf("simkernel replicas (workers=%d): diverged (end %v vs %v, events %d vs %d)",
+				workers, end, baseEnd, st.Events, baseEvents)
+		} else {
+			verdict = "identical"
+		}
+		t.add(fmt.Sprint(parts), fmt.Sprint(workers), fmt.Sprint(st.Windows),
+			fmt.Sprint(st.Events), fmt.Sprintf("%.0f", st.EventsPerSec),
+			fmt.Sprint(end), verdict)
+		if kernelObserver != nil {
+			kernelObserver(KernelSample{
+				Bench:        fmt.Sprintf("pdes-replicas-p%d", parts),
+				Scheduler:    st.Scheduler,
+				Workers:      workers,
+				Windows:      st.Windows,
+				Events:       st.Events,
+				EventsPerSec: st.EventsPerSec,
+			})
+		}
+	}
+	t.write(w)
+	return nil
+}

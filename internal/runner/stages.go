@@ -74,6 +74,25 @@ type State struct {
 	// stage hands to plan.Options.Workers (plans are byte-identical
 	// at any setting).
 	planWorkers int
+	// simWorkers and simSched are the runner's kernel knobs
+	// (Options.SimWorkers / Options.SimScheduler), applied to every
+	// exec.Run this job performs — including resilience replays. They
+	// never reach Config, fingerprints, or reports.
+	simWorkers int
+	simSched   string
+}
+
+// applySimKnobs copies the runner's simulation-kernel knobs onto an
+// executor configuration. Every exec.Run a stage performs must go
+// through this so replays and the main run use the same kernel.
+func (st *State) applySimKnobs(opts *exec.Options) error {
+	mode, err := sim.ParseSchedMode(st.simSched)
+	if err != nil {
+		return err
+	}
+	opts.SimWorkers = st.simWorkers
+	opts.SimScheduler = mode
+	return nil
 }
 
 // TraceLaneNames labels each stage lane of an exported trace with the
@@ -288,6 +307,9 @@ func stageApply(ctx context.Context, st *State) error {
 func stageExecute(ctx context.Context, st *State) error {
 	opts := *st.ExecOpts
 	opts.Ctx = ctx
+	if err := st.applySimKnobs(&opts); err != nil {
+		return err
+	}
 	res, err := exec.Run(opts)
 	if err != nil {
 		return err

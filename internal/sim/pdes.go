@@ -1,0 +1,500 @@
+package sim
+
+// pdes.go is the conservative parallel discrete-event engine. The event
+// space is split into partitions (one scheduler each); Run proceeds in
+// lookahead windows: each window finds the global minimum pending time
+// (the floor), drains every partition's events in [floor, floor+L) on
+// worker goroutines, then merges at a barrier. L is the lookahead —
+// the caller derives it from the minimum cross-partition link latency,
+// so an event can only affect another partition at least L in its
+// future, which makes the window drains causally independent.
+//
+// Determinism bar (the same one the parallel planner set): a PDES run
+// is byte-identical to the serial kernel at every worker count. The
+// mechanism is the merge at each barrier. During a window, events born
+// inside it get provisional keys (birth order within their partition,
+// offset by provBase so they sort after every finalized key at equal
+// times — exactly where the serial kernel's monotonic seq would put
+// them). At the barrier, all still-pending births are sorted into the
+// order the serial kernel would have inserted them — recursively by
+// their parent event's position and their creation ordinal within the
+// parent — and assigned final seqs from the shared counter in that
+// order. Within a partition the rewrite preserves relative order, so
+// the schedulers need no restructuring (sched.rekey); cross-partition
+// sends are buffered in an outbox during the window and pushed at the
+// barrier with final keys. Inductively, every partition's drain order
+// equals the serial execution order restricted to that partition, so
+// all observable state — timings, seqs, resource timelines — matches
+// the serial run exactly.
+//
+// Limits, stated honestly: Stop halts the calling partition immediately
+// (so a run whose events all ride one partition — the executor's case —
+// matches serial Stop byte-for-byte) but other partitions finish their
+// window; and the Interrupt hook is polled at window barriers rather
+// than a per-event stride. Neither affects runs that drain to
+// completion, which is what the byte-identity suite pins.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mpress/internal/units"
+)
+
+// provBase offsets provisional keys above every final seq the shared
+// counter can reach, so provisional events sort after finalized ones at
+// equal times — matching the serial kernel, where events born later in
+// the run carry larger seqs.
+const provBase = int64(1) << 40
+
+// PDESConfig configures conservative parallel execution.
+type PDESConfig struct {
+	// Partitions is the number of event-space partitions (typically one
+	// per device or node).
+	Partitions int
+	// Lookahead is the minimum cross-partition latency: a Send must
+	// carry at least this delay. Must be positive — zero lookahead
+	// admits no parallel window.
+	Lookahead units.Duration
+	// Workers caps the drain goroutines (clamped to Partitions; values
+	// below 2 drain inline on the coordinator goroutine).
+	Workers int
+}
+
+// birth records one scheduling call made during a window: who scheduled
+// it (the parent event's time and key, and the call's ordinal within
+// that event), what it scheduled, and where it lives. Local births hold
+// the provisional slot they were pushed to; cross-partition sends hold
+// the closure itself (outbox — pushed only at the barrier).
+type birth struct {
+	parentAt  Time
+	parentKey int64
+	child     int32 // creation ordinal within the parent event
+	at        Time
+	slot      int32 // scheduler slot for local births; -1 for outbox
+	target    int32 // destination partition for outbox; -1 for local
+	fn        func()
+	done      bool // local birth already executed this window
+}
+
+// partition is one event-space partition: its own scheduler, clock and
+// birth arena. Only its draining goroutine touches it during a window.
+type partition struct {
+	id       int32
+	s        *Sim
+	q        sched
+	now      Time
+	executed int64
+	stopped  bool
+	draining bool
+	// Parent context of the event currently executing.
+	curAt  Time
+	curKey int64
+	childN int32
+	births []birth
+	// panicked captures a panic raised inside a worker drain; the
+	// barrier re-raises it deterministically (lowest partition first).
+	panicked any
+}
+
+type windowJob struct {
+	p       *partition
+	horizon Time
+	max     int64
+}
+
+type pendingRef struct {
+	p *partition
+	b int32
+}
+
+type pdes struct {
+	s         *Sim
+	parts     []*partition
+	lookahead Time
+	workers   int
+	windows   int64
+	lastPoll  int64
+	stopReq   atomic.Bool
+
+	work     chan windowJob
+	wg       sync.WaitGroup // per-window
+	workerWG sync.WaitGroup // pool lifecycle
+
+	active  []*partition
+	pending []pendingRef
+}
+
+// EnablePDES switches a pristine Sim into conservative parallel mode.
+// Scheduling through the Sim-level API (At/After) lands on partition 0
+// — the coordinator — so existing single-threaded models run unchanged;
+// Partition hands out handles for placing events elsewhere. The Sim
+// must not have scheduled or executed anything yet.
+func (s *Sim) EnablePDES(cfg PDESConfig) error {
+	if s.pdes != nil {
+		return errors.New("sim: PDES already enabled")
+	}
+	if s.seq != 0 || s.q.count != 0 || s.executed != 0 || s.now != 0 {
+		return errors.New("sim: EnablePDES requires a pristine Sim")
+	}
+	if cfg.Partitions < 1 {
+		return fmt.Errorf("sim: PDES needs at least 1 partition (got %d)", cfg.Partitions)
+	}
+	if cfg.Lookahead <= 0 {
+		return fmt.Errorf("sim: PDES lookahead must be positive (got %v)", cfg.Lookahead)
+	}
+	workers := cfg.Workers
+	if workers > cfg.Partitions {
+		workers = cfg.Partitions
+	}
+	d := &pdes{s: s, lookahead: cfg.Lookahead, workers: workers}
+	d.parts = make([]*partition, cfg.Partitions)
+	for i := range d.parts {
+		p := &partition{id: int32(i), s: s}
+		p.q.minSlot = -1
+		p.q.setMode(s.q.mode)
+		d.parts[i] = p
+	}
+	if workers > 1 {
+		d.work = make(chan windowJob)
+		d.workerWG.Add(workers)
+		for i := 0; i < workers; i++ {
+			go func() {
+				defer d.workerWG.Done()
+				for jb := range d.work {
+					d.runJob(jb)
+				}
+			}()
+		}
+	}
+	s.pdes = d
+	return nil
+}
+
+// Partitions returns the partition count (zero when PDES is off).
+func (s *Sim) Partitions() int {
+	if s.pdes == nil {
+		return 0
+	}
+	return len(s.pdes.parts)
+}
+
+// Lookahead returns the configured PDES lookahead (zero when off).
+func (s *Sim) Lookahead() units.Duration {
+	if s.pdes == nil {
+		return 0
+	}
+	return s.pdes.lookahead
+}
+
+// Part is a handle onto one event-space partition. Closures scheduled
+// through it run on that partition's clock; they may only schedule onto
+// their own partition (At/After) or send cross-partition work with at
+// least the lookahead of delay (Send).
+type Part struct {
+	p *partition
+}
+
+// Partition returns the handle for partition i. Panics if PDES is off.
+func (s *Sim) Partition(i int) Part {
+	return Part{p: s.pdes.parts[i]}
+}
+
+// ID returns the partition index.
+func (pt Part) ID() int { return int(pt.p.id) }
+
+// Now returns the partition's clock.
+func (pt Part) Now() Time { return pt.p.now }
+
+// At schedules fn on this partition at absolute time t.
+func (pt Part) At(t Time, fn func()) { pt.p.at(t, fn) }
+
+// After schedules fn on this partition d after its current time.
+func (pt Part) After(d units.Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	pt.p.at(pt.p.now+d, fn)
+}
+
+// Stop halts this partition's drain immediately and requests a global
+// stop; other partitions finish the current window.
+func (pt Part) Stop() {
+	pt.p.stopped = true
+	pt.p.s.pdes.stopReq.Store(true)
+}
+
+// Send schedules fn on partition `to`, d after this partition's current
+// time. From inside a running window the delay must be at least the
+// lookahead — that bound is what makes window drains causally
+// independent — and the event is held in an outbox until the barrier.
+func (pt Part) Send(to int, d units.Duration, fn func()) {
+	p := pt.p
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	dst := p.s.pdes.parts[to]
+	if dst == p {
+		pt.After(d, fn)
+		return
+	}
+	if !p.draining {
+		// Setup is single-threaded: final key straight from the shared
+		// counter, exactly as the serial kernel would.
+		p.s.seq++
+		dst.q.push(p.now+d, p.s.seq, fn)
+		return
+	}
+	if d < p.s.pdes.lookahead {
+		panic(fmt.Sprintf("sim: cross-partition send with delay %v below lookahead %v", d, p.s.pdes.lookahead))
+	}
+	p.births = append(p.births, birth{
+		parentAt: p.curAt, parentKey: p.curKey, child: p.childN,
+		at: p.now + d, slot: -1, target: dst.id, fn: fn,
+	})
+	p.childN++
+}
+
+// at schedules onto this partition. Outside a window (setup) keys come
+// straight from the shared seq counter; inside one, the event gets a
+// provisional key (birth index) and a birth record for the barrier
+// merge.
+func (p *partition) at(t Time, fn func()) {
+	if t < p.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, p.now))
+	}
+	if !p.draining {
+		p.s.seq++
+		p.q.push(t, p.s.seq, fn)
+		return
+	}
+	idx := int32(len(p.births))
+	slot := p.q.push(t, provBase+int64(idx), fn)
+	p.births = append(p.births, birth{
+		parentAt: p.curAt, parentKey: p.curKey, child: p.childN,
+		at: t, slot: slot, target: -1,
+	})
+	p.childN++
+}
+
+// drain executes this partition's events strictly below horizon, in
+// (time, key) order. Runs on a worker goroutine when the window has
+// multiple active partitions.
+func (p *partition) drain(horizon Time, max int64) {
+	p.draining = true
+	defer func() { p.draining = false }()
+	for !p.stopped {
+		t, k, fn, ok := p.q.popBelow(horizon)
+		if !ok {
+			return
+		}
+		p.now = t
+		if p.id == 0 {
+			// Keep the Sim clock live for coordinator closures calling
+			// Now()/After(); only partition 0's goroutine writes it, and
+			// the window barrier orders it for everyone else.
+			p.s.now = t
+		}
+		p.executed++
+		if p.executed > max {
+			panic(fmt.Sprintf("sim: exceeded %d events at t=%v — runaway event loop?", max, t))
+		}
+		if k >= provBase {
+			p.births[k-provBase].done = true
+		}
+		p.curAt, p.curKey, p.childN = t, k, 0
+		fn()
+	}
+}
+
+func (d *pdes) runJob(jb windowJob) {
+	defer d.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			jb.p.panicked = r
+		}
+	}()
+	jb.p.drain(jb.horizon, jb.max)
+}
+
+// stop is Sim.Stop's PDES route. The Sim-level API runs events on
+// partition 0, so that is the partition halted immediately.
+func (d *pdes) stop() {
+	d.parts[0].stopped = true
+	d.stopReq.Store(true)
+}
+
+// run is the window loop.
+func (d *pdes) run(max, every int64) {
+	s := d.s
+	for _, p := range d.parts {
+		p.stopped = false
+	}
+	for !d.stopReq.Load() {
+		if s.Interrupt != nil && s.executed-d.lastPoll >= every && s.executed > 0 {
+			d.lastPoll = s.executed
+			if s.Interrupt() {
+				s.Interrupted = true
+				break
+			}
+		}
+		// The floor is the global minimum pending time; the window is
+		// [floor, floor+L). Lookahead guarantees nothing created during
+		// the window can land inside it on another partition.
+		var floor Time
+		found := false
+		for _, p := range d.parts {
+			if at, ok := p.q.peekAt(); ok && (!found || at < floor) {
+				floor, found = at, true
+			}
+		}
+		if !found {
+			break
+		}
+		horizon := floor + d.lookahead
+		active := d.active[:0]
+		for _, p := range d.parts {
+			if at, ok := p.q.peekAt(); ok && at < horizon {
+				active = append(active, p)
+			}
+		}
+		d.active = active
+		if len(active) == 1 || d.workers <= 1 {
+			for _, p := range active {
+				p.drain(horizon, max)
+			}
+		} else {
+			d.wg.Add(len(active))
+			for _, p := range active {
+				d.work <- windowJob{p: p, horizon: horizon, max: max}
+			}
+			d.wg.Wait()
+		}
+		d.finalize()
+		d.windows++
+		var tot int64
+		for _, p := range d.parts {
+			tot += p.executed
+		}
+		s.executed = tot
+		if tot > max {
+			panic(fmt.Sprintf("sim: exceeded %d events — runaway event loop?", max))
+		}
+	}
+	for _, p := range d.parts {
+		if p.now > s.now {
+			s.now = p.now
+		}
+	}
+}
+
+// finalize is the barrier merge: re-raise worker panics, then assign
+// final seqs to every still-pending birth in serial insertion order —
+// sorted recursively by parent position and creation ordinal — rekeying
+// local events in place and pushing outbox sends into their targets.
+func (d *pdes) finalize() {
+	for _, p := range d.parts {
+		if p.panicked != nil {
+			r := p.panicked
+			p.panicked = nil
+			panic(r)
+		}
+	}
+	pending := d.pending[:0]
+	for _, p := range d.parts {
+		for i := range p.births {
+			b := &p.births[i]
+			if b.target >= 0 || !b.done {
+				pending = append(pending, pendingRef{p: p, b: int32(i)})
+			}
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool { return refLess(pending[i], pending[j]) })
+	for _, r := range pending {
+		b := &r.p.births[r.b]
+		d.s.seq++
+		if b.target >= 0 {
+			d.parts[b.target].q.push(b.at, d.s.seq, b.fn)
+		} else {
+			r.p.q.rekey(b.slot, d.s.seq)
+		}
+	}
+	d.pending = pending[:0]
+	for _, p := range d.parts {
+		clear(p.births)
+		p.births = p.births[:0]
+	}
+}
+
+// refLess orders two pending births by serial insertion order: the
+// parent events' serial order first, then the creation ordinal within
+// the parent.
+func refLess(x, y pendingRef) bool {
+	bx, by := &x.p.births[x.b], &y.p.births[y.b]
+	if c := compareParents(x.p, bx, y.p, by); c != 0 {
+		return c < 0
+	}
+	return bx.child < by.child
+}
+
+// compareParents orders the parent events of two births by serial
+// execution order: time first; at equal times a finalized parent
+// precedes a window-born one (its serial seq is smaller — it was
+// inserted before the window); two finalized parents order by their
+// globally unique seqs; two window-born parents order by their own
+// births, recursively. Chains terminate at finalized ancestors, so the
+// recursion is well-founded and the order total.
+func compareParents(px *partition, x *birth, py *partition, y *birth) int {
+	if x.parentAt != y.parentAt {
+		if x.parentAt < y.parentAt {
+			return -1
+		}
+		return 1
+	}
+	xProv, yProv := x.parentKey >= provBase, y.parentKey >= provBase
+	switch {
+	case !xProv && !yProv:
+		switch {
+		case x.parentKey < y.parentKey:
+			return -1
+		case x.parentKey > y.parentKey:
+			return 1
+		default:
+			return 0
+		}
+	case !xProv:
+		return -1
+	case !yProv:
+		return 1
+	}
+	// Both parents were born this window. A provisional parent's birth
+	// record lives in the partition that executed it — the same one
+	// that recorded x/y, since local births stay local.
+	if px == py && x.parentKey == y.parentKey {
+		return 0
+	}
+	bx := &px.births[x.parentKey-provBase]
+	by := &py.births[y.parentKey-provBase]
+	if c := compareParents(px, bx, py, by); c != 0 {
+		return c
+	}
+	if bx.child != by.child {
+		if bx.child < by.child {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// shutdown joins the worker pool. Called by Sim.Reset.
+func (d *pdes) shutdown() {
+	if d.work != nil {
+		close(d.work)
+		d.workerWG.Wait()
+		d.work = nil
+	}
+}

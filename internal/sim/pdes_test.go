@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"mpress/internal/units"
+)
+
+// replicaWorkload models P replica streams exchanging messages: each
+// partition runs a local compute chain (a queue of back-to-back tasks)
+// and every third completion sends a message one partition to the right
+// with exactly the NIC-latency lookahead of delay. The trace records
+// every event per partition; under the determinism contract it must be
+// identical at every worker count.
+func replicaWorkload(s *Sim, parts, steps int, lookahead units.Duration) [][]string {
+	logs := make([][]string, parts)
+	queues := make([]*Queue, parts)
+	for p := 0; p < parts; p++ {
+		pt := s.Partition(p)
+		queues[p] = NewQueueOn(pt, fmt.Sprintf("compute%d", p))
+	}
+	var step func(p, i int)
+	step = func(p, i int) {
+		pt := s.Partition(p)
+		logs[p] = append(logs[p], fmt.Sprintf("%d:step%d@%d", p, i, pt.Now()))
+		if i >= steps {
+			return
+		}
+		queues[p].Submit(units.Duration(7+(i*p)%5), func(start, end Time) {
+			logs[p] = append(logs[p], fmt.Sprintf("%d:done%d@%d-%d", p, i, start, end))
+			if i%3 == 2 {
+				from := p
+				pt.Send((p+1)%parts, lookahead, func() {
+					to := (from + 1) % parts
+					logs[to] = append(logs[to], fmt.Sprintf("%d:msg-from%d@%d", to, from, s.Partition(to).Now()))
+				})
+			}
+			pt.After(units.Duration(1+i%4), func() { step(p, i+1) })
+		})
+	}
+	for p := 0; p < parts; p++ {
+		// Stagger the starts so partitions drift apart in time.
+		pp := p
+		s.Partition(p).At(Time(3*p), func() { step(pp, 0) })
+	}
+	return logs
+}
+
+func runReplicas(t *testing.T, parts, workers int, mode SchedMode) ([][]string, Time, int64, int64) {
+	t.Helper()
+	const lookahead = 2 * units.Microsecond
+	s := New()
+	s.SetScheduler(mode)
+	if err := s.EnablePDES(PDESConfig{Partitions: parts, Lookahead: lookahead, Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	logs := replicaWorkload(s, parts, 40, lookahead)
+	end := s.Run()
+	st := s.Stats()
+	s.Reset() // joins workers
+	return logs, end, st.Events, st.Windows
+}
+
+// TestPDESDeterministicAcrossWorkers is the kernel-level determinism
+// contract: the full per-partition event trace, final time and event
+// count are identical at every worker count and under every scheduler.
+func TestPDESDeterministicAcrossWorkers(t *testing.T) {
+	const parts = 4
+	baseLogs, baseEnd, baseEvents, _ := runReplicas(t, parts, 1, SchedAuto)
+	if baseEvents == 0 {
+		t.Fatal("workload executed no events")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		for _, mode := range []SchedMode{SchedAuto, SchedHeap, SchedCalendar} {
+			logs, end, events, _ := runReplicas(t, parts, workers, mode)
+			if end != baseEnd || events != baseEvents {
+				t.Fatalf("workers=%d mode=%v: end=%v events=%d, want end=%v events=%d",
+					workers, mode, end, events, baseEnd, baseEvents)
+			}
+			for p := range logs {
+				if strings.Join(logs[p], "\n") != strings.Join(baseLogs[p], "\n") {
+					t.Fatalf("workers=%d mode=%v: partition %d trace diverged", workers, mode, p)
+				}
+			}
+		}
+	}
+}
+
+// TestPDESSinglePartitionMatchesSerial: with one partition, the window
+// loop must reproduce the serial kernel exactly — same final time, same
+// executed count — on the shared kernel workload (which schedules only
+// through the Sim-level API, like the executor does).
+func TestPDESSinglePartitionMatchesSerial(t *testing.T) {
+	serial := New()
+	serialEnd := kernelWorkload(serial)
+
+	p := New()
+	if err := p.EnablePDES(PDESConfig{Partitions: 1, Lookahead: units.Microsecond, Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	pdesEnd := kernelWorkload(p)
+	if pdesEnd != serialEnd || p.Executed() != serial.Executed() {
+		t.Fatalf("PDES(1 partition): end=%v executed=%d; serial: end=%v executed=%d",
+			pdesEnd, p.Executed(), serialEnd, serial.Executed())
+	}
+	if w := p.Stats().Windows; w == 0 {
+		t.Fatal("PDES run reported zero windows")
+	}
+	p.Reset()
+}
+
+// TestPDESStopMatchesSerial: Stop from a coordinator event halts at the
+// same event as the serial kernel (the executor's OOM abort path).
+func TestPDESStopMatchesSerial(t *testing.T) {
+	build := func(s *Sim) *int {
+		ran := new(int)
+		for i := 0; i < 50; i++ {
+			i := i
+			s.At(Time(i*10), func() {
+				*ran++
+				if i == 20 {
+					s.Stop()
+				}
+			})
+		}
+		return ran
+	}
+	serial := New()
+	sr := build(serial)
+	serialEnd := serial.Run()
+
+	p := New()
+	if err := p.EnablePDES(PDESConfig{Partitions: 3, Lookahead: units.Microsecond, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	pr := build(p)
+	pdesEnd := p.Run()
+	if *pr != *sr || pdesEnd != serialEnd || p.Executed() != serial.Executed() {
+		t.Fatalf("PDES stop: ran=%d end=%v executed=%d; serial: ran=%d end=%v executed=%d",
+			*pr, pdesEnd, p.Executed(), *sr, serialEnd, serial.Executed())
+	}
+	if p.Pending() != serial.Pending() {
+		t.Fatalf("PDES left %d pending, serial %d", p.Pending(), serial.Pending())
+	}
+	p.Reset()
+}
+
+// TestPDESLookaheadEnforced: a cross-partition send below the lookahead
+// inside a window must panic — silently admitting it would break the
+// causal-independence argument.
+func TestPDESLookaheadEnforced(t *testing.T) {
+	s := New()
+	if err := s.EnablePDES(PDESConfig{Partitions: 2, Lookahead: 10 * units.Microsecond, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Reset()
+	s.Partition(0).At(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("short send did not panic")
+			}
+		}()
+		s.Partition(0).Send(1, units.Microsecond, func() {})
+	})
+	s.Run()
+}
+
+// TestPDESSetupRequiresPristine: EnablePDES after any scheduling or on
+// a non-positive lookahead must fail.
+func TestPDESSetupRequiresPristine(t *testing.T) {
+	s := New()
+	s.At(1, func() {})
+	if err := s.EnablePDES(PDESConfig{Partitions: 2, Lookahead: 1}); err == nil {
+		t.Fatal("EnablePDES accepted a dirty Sim")
+	}
+	s.Reset()
+	if err := s.EnablePDES(PDESConfig{Partitions: 2, Lookahead: 0}); err == nil {
+		t.Fatal("EnablePDES accepted zero lookahead")
+	}
+	if err := s.EnablePDES(PDESConfig{Partitions: 0, Lookahead: 1}); err == nil {
+		t.Fatal("EnablePDES accepted zero partitions")
+	}
+	if err := s.EnablePDES(PDESConfig{Partitions: 2, Lookahead: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnablePDES(PDESConfig{Partitions: 2, Lookahead: 1}); err == nil {
+		t.Fatal("EnablePDES accepted double enablement")
+	}
+	s.Reset()
+}
+
+// TestPDESResetJoinsWorkers: Reset must tear the worker pool down — no
+// goroutine may outlive it (the fleet leak checks sit above this).
+func TestPDESResetJoinsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 4; i++ {
+		s := New()
+		if err := s.EnablePDES(PDESConfig{Partitions: 4, Lookahead: units.Microsecond, Workers: 4}); err != nil {
+			t.Fatal(err)
+		}
+		replicaWorkload(s, 4, 5, units.Microsecond)
+		s.Run()
+		s.Reset()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestPDESInterrupt: the hook is honored at window barriers; remaining
+// events stay queued and Interrupted is set.
+func TestPDESInterrupt(t *testing.T) {
+	s := New()
+	if err := s.EnablePDES(PDESConfig{Partitions: 2, Lookahead: units.Microsecond, Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Reset()
+	s.InterruptEvery = 8
+	s.Interrupt = func() bool { return true }
+	replicaWorkload(s, 2, 100, units.Microsecond)
+	s.Run()
+	if !s.Interrupted {
+		t.Fatal("Interrupted not set")
+	}
+	if s.Pending() == 0 {
+		t.Fatal("interrupt drained the whole event space")
+	}
+}

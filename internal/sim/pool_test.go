@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"mpress/internal/units"
@@ -112,11 +114,57 @@ func TestTimelineArenaRecycles(t *testing.T) {
 	}
 }
 
-// BenchmarkSimKernel measures steady-state allocations of a pooled
-// simulation run: the event heap and lane timelines are recycled, so
-// allocs/op stays at the workload's own closures plus a handful of
-// fixed per-run objects (queue, lane set header) instead of growing
-// with event count. Compare with the fresh variant below.
+// benchHorizon drives a steady-state event churn: `pending` events stay
+// queued while `churn` additional events flow through, with inter-event
+// gaps drawn from one horizon regime. It reports the kernel's own
+// events/sec.
+func benchHorizon(b *testing.B, mode SchedMode, pending, churn int, maxGap int64) {
+	b.ReportAllocs()
+	total := int64(pending + churn)
+	for i := 0; i < b.N; i++ {
+		s := Get()
+		s.SetScheduler(mode)
+		rng := rand.New(rand.NewSource(42))
+		remaining := churn
+		var fn func()
+		fn = func() {
+			if remaining > 0 {
+				remaining--
+				s.After(Time(1+rng.Int63n(maxGap)), fn)
+			}
+		}
+		for j := 0; j < pending; j++ {
+			s.At(Time(1+rng.Int63n(maxGap)), fn)
+		}
+		s.Run()
+		if got := s.Executed(); got != total {
+			b.Fatalf("executed %d events, want %d", got, total)
+		}
+		Put(s)
+	}
+	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// horizonRegimes are the gap distributions the heap-vs-calendar grid
+// runs: dense is µs-scale gaps (the executor's regime — the calendar
+// queue's home turf), burst packs hundreds of events per nanosecond
+// tick (bucket scans degenerate, the heap/auto-fallback case), sparse
+// spreads events over seconds (width adaptation keeps buckets useful).
+var horizonRegimes = []struct {
+	name   string
+	maxGap int64
+}{
+	{"dense", 4096},
+	{"burst", 256},
+	{"sparse", 1 << 32},
+}
+
+// BenchmarkSimKernel measures the kernel hot path. The pooled/fresh
+// pair pins steady-state allocations (event store and lane timelines
+// are recycled, so allocs/op stays at the workload's own closures); the
+// horizon grid compares the heap against the calendar queue on dense
+// and sparse horizons at 1k and 100k pending events — the calendar's
+// win on dense horizons is the headline number in BENCH_sim.json.
 func BenchmarkSimKernel(b *testing.B) {
 	b.Run("pooled", func(b *testing.B) {
 		b.ReportAllocs()
@@ -132,4 +180,14 @@ func BenchmarkSimKernel(b *testing.B) {
 			kernelWorkload(New())
 		}
 	})
+	for _, hz := range horizonRegimes {
+		for _, pending := range []int{1_000, 100_000} {
+			for _, mode := range []SchedMode{SchedHeap, SchedCalendar, SchedAuto} {
+				hz, pending, mode := hz, pending, mode
+				b.Run(fmt.Sprintf("%s-%dk-%s", hz.name, pending/1000, mode), func(b *testing.B) {
+					benchHorizon(b, mode, pending, 100_000, hz.maxGap)
+				})
+			}
+		}
+	}
 }

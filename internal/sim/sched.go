@@ -1,0 +1,551 @@
+package sim
+
+// sched.go is the kernel's event scheduler: a struct-of-arrays event
+// store fronted by either a calendar queue (R. Brown, CACM 1988) tuned
+// for the dense event horizons training graphs produce, or a binary
+// heap for small or pathologically sparse ones. Both structures order
+// events by the same strict total order — (time, key) — so which one is
+// active is invisible in results: the pop sequence is byte-identical
+// (the ordering-equivalence fuzz in sched_test.go pins this).
+//
+// The store is pooled with its Sim: every slice below keeps its
+// capacity across Reset, so the planner's emulate-hundreds-of-plans
+// loop runs the event loop without per-run heap growth.
+
+import "fmt"
+
+// SchedMode selects the event scheduler.
+type SchedMode int
+
+const (
+	// SchedAuto (the default) starts on the heap, migrates to the
+	// calendar queue once the pending-event count clears calendarMin,
+	// and falls back to the heap for the rest of the run if the
+	// calendar's bucket scans turn pathological (sparse or heavily
+	// clustered horizons).
+	SchedAuto SchedMode = iota
+	// SchedHeap forces the binary heap.
+	SchedHeap
+	// SchedCalendar forces the calendar queue (no fallback).
+	SchedCalendar
+)
+
+// String names the mode as the -sim-scheduler flags spell it.
+func (m SchedMode) String() string {
+	switch m {
+	case SchedAuto:
+		return "auto"
+	case SchedHeap:
+		return "heap"
+	case SchedCalendar:
+		return "calendar"
+	default:
+		return fmt.Sprintf("SchedMode(%d)", int(m))
+	}
+}
+
+// ParseSchedMode parses the string form used by CLI flags.
+func ParseSchedMode(s string) (SchedMode, error) {
+	switch s {
+	case "", "auto":
+		return SchedAuto, nil
+	case "heap":
+		return SchedHeap, nil
+	case "calendar":
+		return SchedCalendar, nil
+	default:
+		return SchedAuto, fmt.Errorf("sim: unknown scheduler %q (valid: auto, heap, calendar)", s)
+	}
+}
+
+const (
+	// calendarMin is the pending-event count at which auto mode
+	// migrates from the heap to the calendar queue: below it the heap's
+	// constants win and bucket bookkeeping is pure overhead.
+	calendarMin = 256
+	// minBuckets / maxBuckets bound the bucket table (powers of two).
+	minBuckets = 16
+	maxBuckets = 1 << 16
+	// wasteWindow / wasteRatio are auto mode's fallback trigger: if the
+	// calendar examines more than wasteRatio bucket entries+visits per
+	// dequeue over a wasteWindow-dequeue stretch, the horizon is hostile
+	// to bucketing and the store migrates back to the heap.
+	wasteWindow = 4096
+	wasteRatio  = 16
+	// widthSample bounds how many pending events a rebuild inspects to
+	// estimate the bucket width (deterministic: the first widthSample
+	// slots in gather order).
+	widthSample = 64
+)
+
+// sched is one scheduler instance. The zero value is ready to use (heap
+// mode, SchedAuto).
+type sched struct {
+	// Struct-of-arrays event storage: slot i is (at[i], key[i], fn[i]).
+	// free lists recycled slots. Hot scans touch only at/key.
+	at   []Time
+	key  []int64
+	fn   []func()
+	free []int32
+
+	mode      SchedMode
+	calActive bool // zero value: heap active
+	count     int
+
+	// Binary min-heap of slots, ordered by less.
+	heap []int32
+
+	// Calendar queue state. buckets[i] holds the slots whose time maps
+	// to bucket i (unordered); width is the bucket's time span; (cur,
+	// top) is the scan cursor: the invariant is that every pending
+	// event's time is >= top-width, so scanning forward from cur finds
+	// the minimum in the first bucket with an event inside its window.
+	buckets [][]int32
+	width   Time
+	cur     int
+	top     Time
+
+	// Cached minimum from the last findMin (invalidated by pop/rebuild,
+	// updated in place by push).
+	minSlot   int32
+	minBucket int
+	minPos    int
+
+	// Auto-fallback accounting.
+	scanned  int64
+	dequeues int64
+	fellBack bool
+
+	// scratch backs gather() during rebuilds/migrations.
+	scratch []int32
+}
+
+// heapActive reports whether the heap is the active structure. The
+// field is stored inverted so the zero value starts on the heap.
+func (q *sched) heapActive() bool { return !q.calActive }
+
+// less orders slots by (time, key) — the kernel's strict total order.
+func (q *sched) less(a, b int32) bool {
+	if q.at[a] != q.at[b] {
+		return q.at[a] < q.at[b]
+	}
+	return q.key[a] < q.key[b]
+}
+
+// alloc stores an event and returns its slot.
+func (q *sched) alloc(t Time, k int64, f func()) int32 {
+	if n := len(q.free); n > 0 {
+		s := q.free[n-1]
+		q.free = q.free[:n-1]
+		q.at[s], q.key[s], q.fn[s] = t, k, f
+		return s
+	}
+	q.at = append(q.at, t)
+	q.key = append(q.key, k)
+	q.fn = append(q.fn, f)
+	return int32(len(q.at) - 1)
+}
+
+// release recycles a slot, dropping the closure so it is collectable.
+func (q *sched) release(s int32) {
+	q.fn[s] = nil
+	q.free = append(q.free, s)
+}
+
+// setMode forces the scheduler structure, migrating pending events.
+func (q *sched) setMode(m SchedMode) {
+	q.mode = m
+	switch {
+	case m == SchedHeap && !q.heapActive():
+		q.toHeap()
+	case m == SchedCalendar && q.heapActive():
+		q.toCalendar()
+	}
+}
+
+// name describes the active structure for Stats.
+func (q *sched) name() string {
+	switch {
+	case q.fellBack:
+		return "calendar+heap-fallback"
+	case q.heapActive():
+		return "heap"
+	default:
+		return "calendar"
+	}
+}
+
+// push schedules an event and returns its slot (the PDES layer rekeys
+// provisional events through it).
+func (q *sched) push(t Time, k int64, f func()) int32 {
+	s := q.alloc(t, k, f)
+	q.count++
+	if q.heapActive() {
+		q.heapPush(s)
+		if q.mode == SchedAuto && !q.fellBack && q.count >= calendarMin {
+			q.toCalendar()
+		}
+		return s
+	}
+	b := q.bucketOf(t)
+	q.buckets[b] = append(q.buckets[b], s)
+	if q.count > 2*len(q.buckets) && len(q.buckets) < maxBuckets {
+		q.rebuild(q.count)
+		return s
+	}
+	if t < q.top-q.width {
+		// The new event falls before the cursor's coverage window;
+		// lower the cursor so the forward scan cannot miss it.
+		q.setCursor(t)
+	}
+	if q.minSlot >= 0 && q.less(s, q.minSlot) {
+		q.minSlot, q.minBucket, q.minPos = s, b, len(q.buckets[b])-1
+	}
+	return s
+}
+
+// peekAt returns the earliest pending event time.
+func (q *sched) peekAt() (Time, bool) {
+	if q.count == 0 {
+		return 0, false
+	}
+	if q.heapActive() {
+		return q.at[q.heap[0]], true
+	}
+	return q.at[q.findMin()], true
+}
+
+// pop removes and returns the earliest event.
+func (q *sched) pop() (Time, int64, func(), bool) {
+	if q.count == 0 {
+		return 0, 0, nil, false
+	}
+	var s int32
+	if q.heapActive() {
+		s = q.heapPop()
+	} else {
+		s = q.findMin()
+		bk := q.buckets[q.minBucket]
+		last := len(bk) - 1
+		bk[q.minPos] = bk[last]
+		q.buckets[q.minBucket] = bk[:last]
+		q.setCursor(q.at[s])
+		q.minSlot = -1
+		q.dequeues++
+		if q.mode == SchedAuto && q.dequeues >= wasteWindow {
+			if q.scanned > q.dequeues*wasteRatio {
+				q.fellBack = true
+				q.toHeap()
+			}
+			q.scanned, q.dequeues = 0, 0
+		}
+	}
+	q.count--
+	t, k, f := q.at[s], q.key[s], q.fn[s]
+	q.release(s)
+	if !q.heapActive() && q.count > 0 && q.count*8 < len(q.buckets) && len(q.buckets) > minBuckets {
+		q.rebuild(q.count)
+	}
+	return t, k, f, true
+}
+
+// popBelow removes and returns the earliest event if it is strictly
+// before the horizon — the PDES window drain primitive.
+func (q *sched) popBelow(horizon Time) (Time, int64, func(), bool) {
+	if at, ok := q.peekAt(); !ok || at >= horizon {
+		return 0, 0, nil, false
+	}
+	return q.pop()
+}
+
+// rekey rewrites a pending slot's key. The PDES merge finalizes
+// provisional keys through it; callers guarantee the rewrite preserves
+// the slot's relative order against every other pending event, so the
+// heap/calendar invariants hold without restructuring.
+func (q *sched) rekey(s int32, k int64) { q.key[s] = k }
+
+// reset empties the scheduler keeping every capacity.
+func (q *sched) reset() {
+	clear(q.fn)
+	q.at, q.key, q.fn = q.at[:0], q.key[:0], q.fn[:0]
+	q.free = q.free[:0]
+	q.heap = q.heap[:0]
+	for i := range q.buckets {
+		q.buckets[i] = q.buckets[i][:0]
+	}
+	q.count = 0
+	q.calActive = false
+	q.mode = SchedAuto
+	q.width = 0
+	q.cur, q.top = 0, 0
+	q.minSlot = -1
+	q.scanned, q.dequeues = 0, 0
+	q.fellBack = false
+}
+
+// --- heap structure ---
+
+func (q *sched) heapPush(s int32) {
+	h := append(q.heap, s)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	q.heap = h
+}
+
+func (q *sched) heapPop() int32 {
+	h := q.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && q.less(h[l], h[least]) {
+			least = l
+		}
+		if r < n && q.less(h[r], h[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	q.heap = h
+	return top
+}
+
+// --- calendar structure ---
+
+func (q *sched) bucketOf(t Time) int {
+	return int(uint64(t/q.width) & uint64(len(q.buckets)-1))
+}
+
+// setCursor positions the scan at t's bucket-year window.
+func (q *sched) setCursor(t Time) {
+	q.cur = q.bucketOf(t)
+	// The window holding t is [k*width, (k+1)*width) for k = t/width;
+	// top is its exclusive upper bound.
+	q.top = (t/q.width + 1) * q.width
+}
+
+// findMin locates the earliest pending slot, caching it for the
+// following pop. Calendar invariant: every pending time is >= top-width,
+// so the first bucket holding an event inside its current window holds
+// the global minimum.
+func (q *sched) findMin() int32 {
+	if q.minSlot >= 0 {
+		return q.minSlot
+	}
+	cur, top := q.cur, q.top
+	mask := len(q.buckets) - 1
+	for visited := 0; visited <= mask; visited++ {
+		var best int32 = -1
+		bestPos := -1
+		for i, s := range q.buckets[cur] {
+			q.scanned++
+			if q.at[s] < top && (best < 0 || q.less(s, best)) {
+				best, bestPos = s, i
+			}
+		}
+		if best >= 0 {
+			q.cur, q.top = cur, top
+			q.minSlot, q.minBucket, q.minPos = best, cur, bestPos
+			return best
+		}
+		cur = (cur + 1) & mask
+		top += q.width
+	}
+	// A whole year of empty windows: the horizon is sparse here. Scan
+	// every bucket once for the global minimum and jump the cursor to
+	// it — O(buckets+count), charged to the waste accounting so auto
+	// mode bails to the heap if this keeps happening.
+	q.scanned += int64(len(q.buckets))
+	var best int32 = -1
+	bb, bp := 0, 0
+	for b, bk := range q.buckets {
+		for i, s := range bk {
+			if best < 0 || q.less(s, best) {
+				best, bb, bp = s, b, i
+			}
+		}
+	}
+	q.setCursor(q.at[best])
+	q.minSlot, q.minBucket, q.minPos = best, bb, bp
+	return best
+}
+
+// gather collects every pending slot into scratch (order deterministic:
+// heap array order, or bucket-table order).
+func (q *sched) gather() []int32 {
+	out := q.scratch[:0]
+	if q.heapActive() {
+		out = append(out, q.heap...)
+	} else {
+		for _, bk := range q.buckets {
+			out = append(out, bk...)
+		}
+	}
+	q.scratch = out
+	return out
+}
+
+// estimateWidth derives the bucket width from the average gap between
+// pending event times (Brown's rule of thumb: a few events per bucket).
+// Sampling is deterministic — the first widthSample slots of the gather
+// order — so identical queue contents always yield identical layouts.
+func (q *sched) estimateWidth(slots []int32) Time {
+	n := len(slots)
+	if n > widthSample {
+		n = widthSample
+	}
+	if n < 2 {
+		return 1
+	}
+	// Insertion-sort the sampled times (n <= 64).
+	var ts [widthSample]Time
+	for i := 0; i < n; i++ {
+		ts[i] = q.at[slots[i]]
+	}
+	s := ts[:n]
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	var sum Time
+	gaps := 0
+	for i := 1; i < len(s); i++ {
+		if g := s[i] - s[i-1]; g > 0 {
+			sum += g
+			gaps++
+		}
+	}
+	if gaps == 0 {
+		return 1
+	}
+	w := 4 * sum / Time(gaps)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// sizeFor picks the bucket count for n pending events: the power of two
+// covering n, clamped to [minBuckets, maxBuckets].
+func sizeFor(n int) int {
+	b := minBuckets
+	for b < n && b < maxBuckets {
+		b <<= 1
+	}
+	return b
+}
+
+// rebuild re-lays the calendar for n pending events: fresh bucket count
+// and width, every pending slot re-placed, cursor at the global min.
+func (q *sched) rebuild(n int) {
+	slots := q.gather()
+	nb := sizeFor(n)
+	if cap(q.buckets) >= nb {
+		q.buckets = q.buckets[:nb]
+	} else {
+		q.buckets = append(q.buckets[:cap(q.buckets)], make([][]int32, nb-cap(q.buckets))...)
+	}
+	for i := range q.buckets {
+		q.buckets[i] = q.buckets[i][:0]
+	}
+	q.width = q.estimateWidth(slots)
+	var min int32 = -1
+	for _, s := range slots {
+		q.buckets[q.bucketOf(q.at[s])] = append(q.buckets[q.bucketOf(q.at[s])], s)
+		if min < 0 || q.less(s, min) {
+			min = s
+		}
+	}
+	q.minSlot = -1
+	if min >= 0 {
+		q.setCursor(q.at[min])
+	} else {
+		q.cur, q.top = 0, q.width
+	}
+}
+
+// toCalendar migrates the pending set from the heap to the calendar.
+func (q *sched) toCalendar() {
+	if !q.heapActive() {
+		return
+	}
+	slots := q.gather()
+	q.heap = q.heap[:0]
+	q.calActive = true
+	// rebuild gathers from buckets, which are empty now; place by hand.
+	nb := sizeFor(len(slots))
+	if cap(q.buckets) >= nb {
+		q.buckets = q.buckets[:nb]
+	} else {
+		q.buckets = append(q.buckets[:cap(q.buckets)], make([][]int32, nb-cap(q.buckets))...)
+	}
+	for i := range q.buckets {
+		q.buckets[i] = q.buckets[i][:0]
+	}
+	q.width = q.estimateWidth(slots)
+	var min int32 = -1
+	for _, s := range slots {
+		b := q.bucketOf(q.at[s])
+		q.buckets[b] = append(q.buckets[b], s)
+		if min < 0 || q.less(s, min) {
+			min = s
+		}
+	}
+	q.minSlot = -1
+	if min >= 0 {
+		q.setCursor(q.at[min])
+	} else {
+		q.cur, q.top = 0, q.width
+	}
+	q.scanned, q.dequeues = 0, 0
+}
+
+// toHeap migrates the pending set from the calendar to the heap.
+func (q *sched) toHeap() {
+	if q.heapActive() {
+		return
+	}
+	slots := q.gather()
+	for i := range q.buckets {
+		q.buckets[i] = q.buckets[i][:0]
+	}
+	q.calActive = false
+	q.heap = append(q.heap[:0], slots...)
+	// Floyd heapify.
+	n := len(q.heap)
+	for i := n/2 - 1; i >= 0; i-- {
+		j := i
+		for {
+			l, r := 2*j+1, 2*j+2
+			least := j
+			if l < n && q.less(q.heap[l], q.heap[least]) {
+				least = l
+			}
+			if r < n && q.less(q.heap[r], q.heap[least]) {
+				least = r
+			}
+			if least == j {
+				break
+			}
+			q.heap[j], q.heap[least] = q.heap[least], q.heap[j]
+			j = least
+		}
+	}
+	q.minSlot = -1
+}

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// popAll drains q, returning the (time, key) stream.
+func popAll(q *sched) [][2]int64 {
+	var out [][2]int64
+	for {
+		t, k, _, ok := q.pop()
+		if !ok {
+			return out
+		}
+		out = append(out, [2]int64{int64(t), k})
+	}
+}
+
+// TestSchedOrderingEquivalence is the heap-vs-calendar fuzz: identical
+// push/pop interleavings against a heap-forced, a calendar-forced and
+// an auto sched must yield identical (time, key) pop streams — the
+// property that makes scheduler choice invisible in results. Horizons
+// mix dense, sparse and same-time-burst regimes.
+func TestSchedOrderingEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var heap, cal, auto sched
+		heap.setMode(SchedHeap)
+		cal.setMode(SchedCalendar)
+		key := int64(0)
+		var popped [3][][2]int64
+		step := func() {
+			t1, k1, _, ok1 := heap.pop()
+			t2, k2, _, ok2 := cal.pop()
+			t3, k3, _, ok3 := auto.pop()
+			if ok1 != ok2 || ok1 != ok3 {
+				t.Fatalf("seed %d: pop presence diverged (%v %v %v)", seed, ok1, ok2, ok3)
+			}
+			if ok1 {
+				popped[0] = append(popped[0], [2]int64{int64(t1), k1})
+				popped[1] = append(popped[1], [2]int64{int64(t2), k2})
+				popped[2] = append(popped[2], [2]int64{int64(t3), k3})
+			}
+		}
+		for op := 0; op < 20000; op++ {
+			r := rng.Intn(10)
+			switch {
+			case r < 6: // push
+				var at Time
+				switch rng.Intn(3) {
+				case 0: // dense
+					at = Time(rng.Intn(4096))
+				case 1: // sparse
+					at = Time(rng.Int63n(1 << 50))
+				default: // same-time burst
+					at = Time(rng.Intn(8)) * 1000
+				}
+				key++
+				heap.push(at, key, nil)
+				cal.push(at, key, nil)
+				auto.push(at, key, nil)
+			default:
+				step()
+			}
+		}
+		for i := range popped {
+			popped[i] = append(popped[i], popAll([]*sched{&heap, &cal, &auto}[i])...)
+		}
+		if len(popped[0]) != len(popped[1]) || len(popped[0]) != len(popped[2]) {
+			t.Fatalf("seed %d: stream lengths diverged: %d %d %d", seed, len(popped[0]), len(popped[1]), len(popped[2]))
+		}
+		for i := range popped[0] {
+			if popped[0][i] != popped[1][i] || popped[0][i] != popped[2][i] {
+				t.Fatalf("seed %d: pop %d diverged: heap=%v calendar=%v auto=%v",
+					seed, i, popped[0][i], popped[1][i], popped[2][i])
+			}
+		}
+	}
+}
+
+// TestSchedRekeyPreservesOrder pins the PDES merge contract: rewriting
+// provisional keys to smaller final seqs in relative-order-preserving
+// fashion must leave both structures' pop streams correct.
+func TestSchedRekeyPreservesOrder(t *testing.T) {
+	for _, mode := range []SchedMode{SchedHeap, SchedCalendar} {
+		var q sched
+		q.setMode(mode)
+		// Finalized events at seqs 1..4, provisional ones above provBase.
+		q.push(100, 1, nil)
+		q.push(100, 2, nil)
+		prov1 := q.push(100, provBase, nil)
+		prov2 := q.push(100, provBase+1, nil)
+		q.push(50, 3, nil)
+		q.push(200, 4, nil)
+		// Finalize: provisional events get seqs 5 and 6 (their birth
+		// order), still above every final key — relative order unchanged.
+		q.rekey(prov1, 5)
+		q.rekey(prov2, 6)
+		want := [][2]int64{{50, 3}, {100, 1}, {100, 2}, {100, 5}, {100, 6}, {200, 4}}
+		got := popAll(&q)
+		if len(got) != len(want) {
+			t.Fatalf("%v: got %d pops, want %d", mode, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: pop %d = %v, want %v", mode, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSchedAutoMigration pins auto mode's two transitions: heap →
+// calendar once the pending count clears calendarMin, and calendar →
+// heap (permanently) when bucket scans go pathological — a far-future
+// cluster that defeats the bucket hash.
+func TestSchedAutoMigration(t *testing.T) {
+	var q sched
+	key := int64(0)
+	for i := 0; i < calendarMin; i++ {
+		key++
+		q.push(Time(i), key, nil)
+	}
+	if q.heapActive() {
+		t.Fatalf("auto sched still on heap at %d pending", calendarMin)
+	}
+	if got := q.name(); got != "calendar" {
+		t.Fatalf("scheduler name = %q, want calendar", got)
+	}
+	// Now keep the pending count fixed while pushing events exactly one
+	// bucket-table span apart: they all hash to the scan cursor's bucket
+	// but live many windows ahead, so every findMin degenerates to a
+	// full-table scan. The waste accounting must bail to the heap.
+	base := Time(0)
+	for i := 0; i < 3*wasteWindow && !q.fellBack; i++ {
+		base += Time(len(q.buckets)) * q.width
+		key++
+		q.push(base, key, nil)
+		q.pop()
+	}
+	if !q.fellBack || q.heapActive() == false {
+		// fellBack implies heapActive; assert both for clarity.
+		if !q.fellBack {
+			t.Fatal("pathological horizon did not trigger heap fallback")
+		}
+	}
+	if got := q.name(); got != "calendar+heap-fallback" {
+		t.Fatalf("scheduler name = %q, want calendar+heap-fallback", got)
+	}
+	// Ordering must survive the migration.
+	prev := [2]int64{-1, -1}
+	for _, p := range popAll(&q) {
+		if p[0] < prev[0] || (p[0] == prev[0] && p[1] <= prev[1]) {
+			t.Fatalf("out-of-order pop %v after %v", p, prev)
+		}
+		prev = p
+	}
+}
+
+// TestSchedForcedModesStable: forced modes never auto-transition.
+func TestSchedForcedModesStable(t *testing.T) {
+	var cal sched
+	cal.setMode(SchedCalendar)
+	key := int64(0)
+	base := Time(0)
+	for i := 0; i < 2*wasteWindow; i++ {
+		if len(cal.buckets) > 0 {
+			base += Time(len(cal.buckets)) * cal.width
+		} else {
+			base += 1 << 20
+		}
+		key++
+		cal.push(base, key, nil)
+		cal.pop()
+	}
+	if cal.heapActive() {
+		t.Fatal("forced calendar fell back to heap")
+	}
+	var heap sched
+	heap.setMode(SchedHeap)
+	for i := 0; i < 2*calendarMin; i++ {
+		key++
+		heap.push(Time(i), key, nil)
+	}
+	if !heap.heapActive() {
+		t.Fatal("forced heap migrated to calendar")
+	}
+}
+
+// TestSimSchedulerEquivalence runs the pool test's kernel workload at
+// Sim level under each scheduler and requires identical results.
+func TestSimSchedulerEquivalence(t *testing.T) {
+	type outcome struct {
+		end Time
+		n   int64
+	}
+	run := func(m SchedMode) outcome {
+		s := New()
+		s.SetScheduler(m)
+		end := kernelWorkload(s)
+		return outcome{end: end, n: s.Executed()}
+	}
+	base := run(SchedHeap)
+	for _, m := range []SchedMode{SchedCalendar, SchedAuto} {
+		if got := run(m); got != base {
+			t.Fatalf("%v outcome %+v != heap outcome %+v", m, got, base)
+		}
+	}
+}
+
+func TestParseSchedMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SchedMode
+	}{{"", SchedAuto}, {"auto", SchedAuto}, {"heap", SchedHeap}, {"calendar", SchedCalendar}} {
+		got, err := ParseSchedMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseSchedMode(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseSchedMode("wheel"); err == nil {
+		t.Fatal("ParseSchedMode accepted an unknown mode")
+	}
+}

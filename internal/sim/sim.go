@@ -7,8 +7,17 @@
 // simulation with identical inputs always produces identical timings,
 // and tests can assert exact values.
 //
+// The event store (sched.go) is a calendar queue with struct-of-arrays
+// storage for the dense horizons training graphs produce, with a binary
+// heap for small or sparse ones; both realize the same (time, seq)
+// total order, so scheduler choice never changes results. A
+// conservative parallel mode (pdes.go) partitions the event space and
+// drains partitions on worker goroutines inside lookahead windows,
+// merging deterministically so parallel runs are byte-identical to
+// serial ones.
+//
 // The kernel is built to be reused: Reset returns a Sim to its pristine
-// state without releasing its event heap or timeline arena, and the
+// state without releasing its event store or timeline arena, and the
 // package-level Get/Put pool recycles instances so a hot caller (the
 // planner emulates hundreds of candidate plans per job) runs the event
 // loop without per-run heap growth.
@@ -25,33 +34,23 @@ import (
 // Time is the simulated clock, in nanoseconds since simulation start.
 type Time = units.Duration
 
-type event struct {
-	at  Time
-	seq int64
-	fn  func()
-}
-
-// before orders events by (time, insertion sequence); the sequence
-// tiebreak is what makes replays byte-identical.
-func (e event) before(o event) bool {
-	if e.at != o.at {
-		return e.at < o.at
-	}
-	return e.seq < o.seq
-}
-
 // Sim is one simulation instance. The zero value is not usable; call New
 // (or Get, which recycles instances through the package pool).
 type Sim struct {
 	now     Time
 	seq     int64
-	events  []event // binary min-heap ordered by event.before
+	q       sched
 	stopped bool
-	// executed counts processed events, exposed for tests and for the
-	// runaway-guard in Run.
+	// executed counts events whose closures actually ran, exposed for
+	// tests and for the runaway-guard in Run. An event popped in the
+	// iteration where Interrupt fires is not counted: the poll happens
+	// before the pop.
 	executed int64
 	// wall accumulates real time spent inside Run, for Stats.
 	wall time.Duration
+	// pdes, when non-nil, is the conservative parallel engine; At/After/
+	// Run route through it. See EnablePDES.
+	pdes *pdes
 	// arena backs resource timelines (LaneSet lanes); arenaUsed is the
 	// high-water mark of the current block. Reset recycles the block, so
 	// pooled Sims hand out timelines without allocating.
@@ -83,7 +82,7 @@ var pool = sync.Pool{New: func() any { return New() }}
 
 // Get returns a pristine Sim from the package pool. Callers that run
 // many simulations back to back (the planner's refinement loop) should
-// pair it with Put so event heaps and timeline arenas are recycled
+// pair it with Put so event stores and timeline arenas are recycled
 // instead of reallocated per run.
 func Get() *Sim {
 	return pool.Get().(*Sim)
@@ -98,12 +97,15 @@ func Put(s *Sim) {
 }
 
 // Reset returns s to its pristine post-New state while keeping the
-// event heap's and timeline arena's capacity, so a recycled Sim runs
+// event store's and timeline arena's capacity, so a recycled Sim runs
 // without reallocating either. Queued closures are zeroed to keep them
-// collectable.
+// collectable. Any PDES engine is torn down (worker goroutines joined).
 func (s *Sim) Reset() {
-	clear(s.events)
-	s.events = s.events[:0]
+	if s.pdes != nil {
+		s.pdes.shutdown()
+		s.pdes = nil
+	}
+	s.q.reset()
 	s.arenaUsed = 0
 	s.now = 0
 	s.seq = 0
@@ -114,6 +116,18 @@ func (s *Sim) Reset() {
 	s.MaxEvents = 0
 	s.Interrupt = nil
 	s.InterruptEvery = 0
+}
+
+// SetScheduler selects the event-store structure: SchedAuto (default),
+// SchedHeap, or SchedCalendar. Scheduler choice never changes results —
+// only the constant factor of the event loop.
+func (s *Sim) SetScheduler(m SchedMode) {
+	s.q.setMode(m)
+	if s.pdes != nil {
+		for _, p := range s.pdes.parts {
+			p.q.setMode(m)
+		}
+	}
 }
 
 // timeline hands out a zeroed n-entry Time slice from the Sim's arena,
@@ -137,55 +151,13 @@ func (s *Sim) timeline(n int) []Time {
 	return tl
 }
 
-// Now returns the current simulated time.
+// Now returns the current simulated time. Under PDES this is the
+// coordinator partition's clock (partition 0), which is where all
+// events scheduled through the Sim-level API run.
 func (s *Sim) Now() Time { return s.now }
 
-// Executed returns the number of events processed so far.
+// Executed returns the number of events whose closures have run.
 func (s *Sim) Executed() int64 { return s.executed }
-
-// push adds e to the event heap (typed sift-up; no interface boxing).
-func (s *Sim) push(e event) {
-	h := append(s.events, e)
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h[i].before(h[parent]) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-	s.events = h
-}
-
-// pop removes and returns the earliest event (typed sift-down). The
-// vacated slot is zeroed so the popped closure is collectable.
-func (s *Sim) pop() event {
-	h := s.events
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h[n] = event{}
-	h = h[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		least := i
-		if l < n && h[l].before(h[least]) {
-			least = l
-		}
-		if r < n && h[r].before(h[least]) {
-			least = r
-		}
-		if least == i {
-			break
-		}
-		h[i], h[least] = h[least], h[i]
-		i = least
-	}
-	s.events = h
-	return top
-}
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // (t < Now) panics: it always indicates a modelling bug.
@@ -193,8 +165,12 @@ func (s *Sim) At(t Time, fn func()) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
+	if s.pdes != nil {
+		s.pdes.parts[0].at(t, fn)
+		return
+	}
 	s.seq++
-	s.push(event{at: t, seq: s.seq, fn: fn})
+	s.q.push(t, s.seq, fn)
 }
 
 // After schedules fn to run d after the current time.
@@ -206,8 +182,18 @@ func (s *Sim) After(d units.Duration, fn func()) {
 }
 
 // Stop makes Run return after the current event completes. Pending
-// events remain queued.
-func (s *Sim) Stop() { s.stopped = true }
+// events remain queued. Under PDES, Stop from inside an event halts the
+// calling partition immediately (so a single-partition run matches the
+// serial kernel exactly); other partitions finish the current window.
+func (s *Sim) Stop() {
+	if s.pdes != nil {
+		// Legal only from setup or a coordinator (partition 0) event;
+		// the flag write below would race from any other partition.
+		s.pdes.stop()
+		return
+	}
+	s.stopped = true
+}
 
 // Run processes events until none remain (or Stop is called) and
 // returns the final simulated time.
@@ -223,18 +209,25 @@ func (s *Sim) Run() Time {
 	s.stopped = false
 	s.Interrupted = false
 	t0 := time.Now()
-	for len(s.events) > 0 && !s.stopped {
-		e := s.pop()
-		s.now = e.at
+	if s.pdes != nil {
+		s.pdes.run(max, every)
+		s.wall += time.Since(t0)
+		return s.now
+	}
+	for s.q.count > 0 && !s.stopped {
+		// Poll before popping: an interrupted Run leaves the unexecuted
+		// event queued and uncounted.
+		if s.Interrupt != nil && s.executed > 0 && s.executed%every == 0 && s.Interrupt() {
+			s.Interrupted = true
+			break
+		}
+		t, _, fn, _ := s.q.pop()
+		s.now = t
 		s.executed++
 		if s.executed > max {
 			panic(fmt.Sprintf("sim: exceeded %d events at t=%v — runaway event loop?", max, s.now))
 		}
-		if s.Interrupt != nil && s.executed%every == 0 && s.Interrupt() {
-			s.Interrupted = true
-			break
-		}
-		e.fn()
+		fn()
 	}
 	s.wall += time.Since(t0)
 	return s.now
@@ -244,16 +237,22 @@ func (s *Sim) Run() Time {
 // consumed, the real time it spent doing so, and the resulting
 // throughput. EventsPerSec is the simulator's own processing rate (not
 // a simulated quantity) — the figure of merit for the planner's
-// emulation loop.
+// emulation loop. Scheduler names the active event structure; Windows
+// counts PDES lookahead windows (zero for serial runs).
 type Stats struct {
 	Events       int64
 	Wall         time.Duration
 	EventsPerSec float64
+	Scheduler    string
+	Windows      int64
 }
 
 // Stats returns the run statistics accumulated since New or Reset.
 func (s *Sim) Stats() Stats {
-	st := Stats{Events: s.executed, Wall: s.wall}
+	st := Stats{Events: s.executed, Wall: s.wall, Scheduler: s.q.name()}
+	if s.pdes != nil {
+		st.Windows = s.pdes.windows
+	}
 	if s.wall > 0 {
 		st.EventsPerSec = float64(s.executed) / s.wall.Seconds()
 	}
@@ -261,4 +260,12 @@ func (s *Sim) Stats() Stats {
 }
 
 // Pending returns the number of queued events, for tests.
-func (s *Sim) Pending() int { return len(s.events) }
+func (s *Sim) Pending() int {
+	n := s.q.count
+	if s.pdes != nil {
+		for _, p := range s.pdes.parts {
+			n += p.q.count
+		}
+	}
+	return n
+}

@@ -1,0 +1,113 @@
+package mpress_test
+
+// Acceptance test for the simulation kernel: the scheduler choice and
+// the conservative-PDES engine must be invisible in every artifact.
+// For each planner preset the job runs serial (the baseline), under
+// each forced scheduler, and under the PDES kernel at 1 and 8 workers;
+// the report JSON, the canonical plan file, and the Chrome trace must
+// be byte-for-byte identical in every configuration. Under -race this
+// doubles as the data-race check on the PDES worker pool. The variant
+// runners are seeded with the baseline's plan (Runner.SeedPlan, the
+// fleet tier's sharing path) so the planner search runs once per
+// preset — the kernel knobs cannot affect planning, which emulates
+// through its own serial executors.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"mpress"
+	"mpress/internal/experiments"
+	"mpress/internal/serve/api"
+	"mpress/internal/trace"
+)
+
+// kernelArtifacts runs cfg's job on r and renders the three artifact
+// byte streams a client can observe.
+func kernelArtifacts(t *testing.T, r *mpress.Runner, cfg mpress.Config) (report, planFile, chrome []byte) {
+	t.Helper()
+	j, err := mpress.NewJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.RunKeep(context.Background(), j)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Report.Failed() {
+		t.Fatalf("unexpected OOM: %v", res.Report.OOM)
+	}
+	report, err = json.Marshal(res.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pbuf bytes.Buffer
+	if err := j.SavePlan(&pbuf, res.Report.Plan); err != nil {
+		t.Fatal(err)
+	}
+	resp := api.PlanResponse{Plan: json.RawMessage(pbuf.Bytes())}
+	if planFile, err = resp.CanonicalPlanFile(); err != nil {
+		t.Fatal(err)
+	}
+	tl := trace.Collect(res.State.Built, res.State.Exec)
+	tl.LaneNames = res.State.TraceLaneNames()
+	var cbuf bytes.Buffer
+	if err := tl.WriteChrome(&cbuf); err != nil {
+		t.Fatal(err)
+	}
+	return report, planFile, cbuf.Bytes()
+}
+
+func TestSimKernelSmoke(t *testing.T) {
+	variants := []struct {
+		name    string
+		workers int
+		sched   string
+	}{
+		{"heap", 0, "heap"},
+		{"calendar", 0, "calendar"},
+		{"pdes-w1", 1, "auto"},
+		{"pdes-w8", 8, "auto"},
+	}
+	for _, p := range experiments.PlannerPresets() {
+		if raceEnabled && p.Name == "bertxdgx2" {
+			continue // ~200 emulations on the 16-GPU box; too slow under -race
+		}
+		t.Run(p.Name, func(t *testing.T) {
+			base := mpress.NewRunner(mpress.RunnerOptions{Workers: 1, KeepArtifacts: true})
+			wantReport, wantPlan, wantChrome := kernelArtifacts(t, base, p.Cfg)
+			j, err := mpress.NewJob(p.Cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl, havePlan := base.CachedPlan(j.PlanKey())
+			if !havePlan {
+				t.Fatal("baseline left no cached plan to seed variants with")
+			}
+			for _, v := range variants {
+				t.Run(v.name, func(t *testing.T) {
+					r := mpress.NewRunner(mpress.RunnerOptions{
+						Workers: 1, KeepArtifacts: true,
+						SimWorkers: v.workers, SimScheduler: v.sched,
+					})
+					r.SeedPlan(j.PlanKey(), pl)
+					gotReport, gotPlan, gotChrome := kernelArtifacts(t, r, p.Cfg)
+					if !bytes.Equal(wantReport, gotReport) {
+						t.Errorf("report JSON differs from serial baseline (%d vs %d bytes)",
+							len(wantReport), len(gotReport))
+					}
+					if !bytes.Equal(wantPlan, gotPlan) {
+						t.Errorf("canonical plan file differs from serial baseline (%d vs %d bytes)",
+							len(wantPlan), len(gotPlan))
+					}
+					if !bytes.Equal(wantChrome, gotChrome) {
+						t.Errorf("Chrome trace differs from serial baseline (%d vs %d bytes)",
+							len(wantChrome), len(gotChrome))
+					}
+				})
+			}
+		})
+	}
+}
